@@ -1,0 +1,143 @@
+//! End-to-end runtime benchmarks: allocation throughput, full-cycle cost
+//! as a function of the live set, and handshake latency as a function of
+//! the mutator count.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use otf_gc::{Collector, GcConfig, Gc, Mutator};
+
+/// Allocation + discard churn with the collector running concurrently:
+/// steady-state allocation throughput including reclamation.
+fn bench_alloc_churn(c: &mut Criterion) {
+    let mut cfg = GcConfig::new(8192, 1);
+    cfg.validate = false;
+    let collector = Collector::new(cfg);
+    let mut m = collector.register_mutator();
+    collector.start();
+    c.bench_function("alloc+discard churn (collector running)", |bench| {
+        bench.iter(|| loop {
+            m.safepoint();
+            match m.alloc(1) {
+                Ok(g) => {
+                    m.discard(g);
+                    break;
+                }
+                Err(_) => std::thread::yield_now(),
+            }
+        })
+    });
+    collector.stop();
+}
+
+fn build_list(m: &mut Mutator, n: usize) -> Gc {
+    let head = m.alloc(1).expect("room");
+    let mut tail = head;
+    for _ in 1..n {
+        let node = m.alloc(1).expect("room"); // rooted by alloc
+        m.store(tail, 0, Some(node));
+        if tail != head {
+            m.discard(tail); // now reachable through the list
+        }
+        tail = node;
+    }
+    if tail != head {
+        m.discard(tail);
+    }
+    head
+}
+
+/// One full collect() cycle against live sets of different sizes, with a
+/// helper thread answering handshakes.
+fn bench_cycle_vs_live(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc cycle vs live set");
+    group.sample_size(20);
+    for &live in &[16usize, 256, 2048] {
+        let mut cfg = GcConfig::new(live * 2 + 64, 1);
+        cfg.validate = false;
+        let collector = Collector::new(cfg);
+        let mut m = collector.register_mutator();
+        let _head = build_list(&mut m, live);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while !stop.load(Ordering::Acquire) {
+                    m.safepoint();
+                    std::thread::yield_now();
+                }
+            });
+            group.bench_with_input(BenchmarkId::from_parameter(live), &live, |bench, _| {
+                bench.iter(|| collector.collect())
+            });
+            stop.store(true, Ordering::Release);
+        });
+    }
+    group.finish();
+}
+
+/// Full-cycle latency (on an empty heap) against the number of registered
+/// mutators, all spinning at safepoints: the cost of the six-plus rounds
+/// of ragged handshakes.
+fn bench_handshake_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle latency vs mutators");
+    group.sample_size(20);
+    for &n in &[1usize, 2, 4] {
+        let mut cfg = GcConfig::new(64, 1);
+        cfg.validate = false;
+        let collector = Collector::new(cfg);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                let mut m = collector.register_mutator();
+                let stop = &stop;
+                s.spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        m.safepoint();
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+                bench.iter(|| collector.collect())
+            });
+            stop.store(true, Ordering::Release);
+        });
+    }
+    group.finish();
+}
+
+/// The §4 allocation-pool extension vs the global free-list lock.
+fn bench_alloc_pooling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc: pooled vs locked");
+    for (name, pool) in [("locked (pool=0)", 0usize), ("pooled (batch 64)", 64)] {
+        let mut cfg = GcConfig::new(1 << 14, 0);
+        cfg.validate = false;
+        cfg.alloc_pool = pool;
+        let collector = Collector::new(cfg);
+        let mut m = collector.register_mutator();
+        collector.start();
+        group.bench_function(name, |bench| {
+            bench.iter(|| loop {
+                m.safepoint();
+                match m.alloc(0) {
+                    Ok(g) => {
+                        m.discard(g);
+                        break;
+                    }
+                    Err(_) => std::thread::yield_now(),
+                }
+            })
+        });
+        collector.stop();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    runtime,
+    bench_alloc_churn,
+    bench_cycle_vs_live,
+    bench_handshake_latency,
+    bench_alloc_pooling
+);
+criterion_main!(runtime);

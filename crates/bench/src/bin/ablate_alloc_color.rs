@@ -1,0 +1,31 @@
+//! **Ablation A4 — allocating black too early (§3.2, hp_InitMark).**
+//!
+//! The paper: "to preserve the strong tricolor invariant, we must know that
+//! all mutators have installed their insertion barriers before setting the
+//! allocation flag f_A to f_M". Setting `f_A` immediately after the `f_M`
+//! flip — while mutators may still read `phase = Idle` and skip their
+//! barriers — lets a mutator allocate a black object and store a white
+//! reference into it unbarriered. The checker exhibits the failure.
+
+use gc_bench::{check_config, print_table, print_trace, Suite};
+use gc_model::ModelConfig;
+
+fn main() {
+    let max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+
+    let mut premature = ModelConfig::small(1, 3);
+    premature.premature_alloc_black = true;
+
+    let reports = vec![check_config(
+        "f_A := f_M during Idle (premature)",
+        &premature,
+        max,
+        Suite::Full,
+    )];
+    print_table(&reports);
+    print_trace(&reports[0]);
+    assert!(reports[0].violated.is_some());
+}

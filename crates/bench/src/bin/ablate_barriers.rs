@@ -1,0 +1,35 @@
+//! **Ablations A1/A2 — the write barriers are load-bearing.**
+//!
+//! Removing the insertion barrier (§2: on-the-fly snapshotting *must* use
+//! one while the snapshot is built) or the deletion barrier (Figure 1's
+//! hiding scenario) makes the collector unsound. The checker finds a
+//! shortest counterexample for each; the faithful configuration of the
+//! same size verifies.
+
+use gc_bench::{check_config, print_table, print_trace, Suite};
+use gc_model::{InitialHeap, ModelConfig};
+
+fn main() {
+    let max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_000_000);
+
+    let mut no_insertion = ModelConfig::small(1, 3);
+    no_insertion.insertion_barrier = false;
+
+    let mut no_deletion = ModelConfig::small(1, 3);
+    no_deletion.deletion_barrier = false;
+    no_deletion.initial = InitialHeap::chain(1, 2, 1); // Figure 1 shape
+    no_deletion.ops.alloc = false;
+
+    let reports = vec![
+        check_config("no insertion barrier", &no_insertion, max, Suite::Full),
+        check_config("no deletion barrier (chain heap)", &no_deletion, max, Suite::Full),
+    ];
+    print_table(&reports);
+    for r in &reports {
+        print_trace(r);
+        assert!(r.violated.is_some(), "{} should be unsound", r.label);
+    }
+}

@@ -1,0 +1,40 @@
+//! **Ablation A5 — marking must be atomic when mark state is shared
+//! (§2.3).**
+//!
+//! The paper's `mark` uses a locked CMPXCHG so that exactly one racer wins
+//! and enlists the object: work-lists stay disjoint, which is what lets
+//! Schism thread them through object headers. Replacing the CAS by an
+//! unsynchronised read-then-write lets two markers both claim victory —
+//! the checker catches the broken `valid_W_inv` (disjointness/marked-on-
+//! heap) immediately.
+
+use gc_bench::{check_config, print_table, print_trace, Suite};
+use gc_model::{InitialHeap, ModelConfig};
+
+fn main() {
+    let max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+
+    // One mutator racing the *collector* for the same object suffices.
+    let mut racy = ModelConfig::small(1, 3);
+    racy.mark_cas = false;
+
+    // Two mutators sharing an object: mutator-vs-mutator races.
+    let mut racy2 = ModelConfig::small(2, 2);
+    racy2.mark_cas = false;
+    racy2.initial = InitialHeap::shared_object(2, 1);
+    racy2.ops.alloc = false;
+    racy2.ops.load = false;
+
+    let reports = vec![
+        check_config("racy mark, 1 mutator", &racy, max, Suite::Full),
+        check_config("racy mark, 2 mutators, shared obj", &racy2, max, Suite::Full),
+    ];
+    print_table(&reports);
+    for r in &reports {
+        print_trace(r);
+    }
+    assert!(reports.iter().any(|r| r.violated.is_some()));
+}

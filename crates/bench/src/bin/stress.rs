@@ -1,0 +1,182 @@
+//! **R1 — runtime stress with the safety oracle, plus the two-cycle
+//! floating-garbage bound.**
+//!
+//! Part 1: several mutator threads churn shared structures while the
+//! collector runs on-the-fly; validation mode turns any
+//! freed-while-reachable object into an immediate panic, so a clean run is
+//! the runtime enactment of the safety theorem.
+//!
+//! Part 2: the paper's §4 remark — "garbage is collected within two cycles
+//! of the collector's outer loop" — measured directly: objects made
+//! garbage *during* marking float through the current cycle and are
+//! reclaimed by the next.
+//!
+//! Part 3: the barrier ablations on real threads — the stress loop run
+//! with a barrier removed trips the use-after-free oracle, reproducing the
+//! model checker's counterexamples at runtime scale. (Racy and
+//! timing-dependent: the broken run is attempted several times and is
+//! expected, not guaranteed, to fail.)
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use otf_gc::{Collector, GcConfig};
+
+fn churn(collector: &Collector, mutators: usize, ops: usize) {
+    let mut m0 = collector.register_mutator();
+    let anchor = m0.alloc(2).expect("room");
+    let finished = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..mutators {
+            let mut m = collector.register_mutator();
+            m.adopt(anchor);
+            let finished = &finished;
+            s.spawn(move || {
+                for op in 0..ops {
+                    m.safepoint();
+                    match m.alloc(2) {
+                        Ok(node) => {
+                            let old = m.load(anchor, 0);
+                            m.store(node, 0, old);
+                            m.store(anchor, 0, Some(node));
+                            if let Some(o) = old {
+                                m.discard(o);
+                            }
+                            m.discard(node);
+                        }
+                        Err(_) => std::thread::yield_now(),
+                    }
+                    if op % 64 == 0 {
+                        m.store(anchor, 0, None); // cut: mass garbage
+                    }
+                    if op % 16 == 0 {
+                        // walk the visible prefix, validating as we go
+                        let mut cur = m.load(anchor, 0);
+                        let mut n = 0;
+                        while let Some(c) = cur {
+                            let next = m.load(c, 0);
+                            m.discard(c);
+                            cur = next;
+                            n += 1;
+                            if n > 256 {
+                                break;
+                            }
+                        }
+                    }
+                }
+                finished.fetch_add(1, Ordering::Release);
+            });
+        }
+        let finished = &finished;
+        s.spawn(move || {
+            while finished.load(Ordering::Acquire) < mutators {
+                m0.safepoint();
+                std::thread::yield_now();
+            }
+            drop(m0);
+        });
+    });
+}
+
+fn main() {
+    // ---- Part 1: the faithful collector under stress --------------------
+    println!("== stress: 4 mutators x 30k ops, faithful configuration ==");
+    let collector = Collector::new(GcConfig::new(4096, 2));
+    collector.start();
+    churn(&collector, 4, 30_000);
+    collector.stop();
+    let s = collector.stats();
+    println!(
+        "cycles {}, allocated {}, freed {}, live {}, barrier checks {}, CAS won/lost {}/{}",
+        s.cycles(),
+        s.allocated(),
+        s.freed(),
+        collector.live_objects(),
+        s.barrier_checks(),
+        s.barrier_cas_won(),
+        s.barrier_cas_lost()
+    );
+    if let Some(last) = s.history().last() {
+        println!(
+            "last cycle: total {:?} (handshakes {:?}, mark {:?}, sweep {:?}), {} freed, {} work rounds",
+            last.duration(),
+            std::time::Duration::from_nanos(last.handshake_ns),
+            std::time::Duration::from_nanos(last.mark_ns),
+            std::time::Duration::from_nanos(last.sweep_ns),
+            last.freed,
+            last.work_rounds,
+        );
+    }
+    println!("no use-after-free: the runtime safety oracle stayed quiet\n");
+
+    // ---- Part 2: floating garbage is gone within two cycles -------------
+    println!("== floating garbage: reclaimed within two cycles ==");
+    let collector = Collector::new(GcConfig::new(64, 1));
+    let mut m = collector.register_mutator();
+    let a = m.alloc(1).expect("room");
+    let b = m.alloc(1).expect("room");
+    m.store(a, 0, Some(b));
+    m.discard(b);
+    collector.start();
+    // Wait until a cycle is past its snapshot, then cut b loose: it will
+    // float through that cycle.
+    while collector.stats().cycles() < 1 {
+        m.safepoint();
+    }
+    m.store(a, 0, None); // b becomes garbage mid-stream
+    let freed_before = collector.stats().freed();
+    let cut_at = collector.stats().cycles();
+    while collector.stats().cycles() < cut_at + 2 {
+        m.safepoint();
+    }
+    collector.stop();
+    let freed_after = collector.stats().freed();
+    println!(
+        "cut at cycle {cut_at}; after two more cycles freed grew {} -> {} (b reclaimed)",
+        freed_before, freed_after
+    );
+    assert!(freed_after > freed_before, "the garbage must be gone within two cycles");
+    assert_eq!(collector.live_objects(), 1);
+
+    // ---- Part 3: ablations trip the oracle on real threads --------------
+    for (name, cfg) in [
+        ("no insertion barrier", {
+            let mut c = GcConfig::new(512, 2);
+            c.insertion_barrier = false;
+            c
+        }),
+        ("no deletion barrier", {
+            let mut c = GcConfig::new(512, 2);
+            c.deletion_barrier = false;
+            c
+        }),
+    ] {
+        println!("\n== ablation on real threads: {name} ==");
+        let mut tripped = false;
+        for attempt in 0..10 {
+            let caught = AtomicBool::new(false);
+            {
+                let collector = Collector::new(cfg.clone());
+                collector.start();
+                let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    churn(&collector, 4, 8_000);
+                }));
+                if r.is_err() {
+                    caught.store(true, Ordering::Release);
+                }
+                // Threads may have died mid-handshake: tear down hard.
+                collector.stop();
+                std::mem::forget(collector); // heap may be inconsistent
+            }
+            if caught.load(Ordering::Acquire) {
+                println!("use-after-free caught on attempt {attempt} — as the model predicts");
+                tripped = true;
+                break;
+            }
+        }
+        if !tripped {
+            println!("(no failure observed in 10 attempts — the race is timing-dependent;");
+            println!(" the model checker's counterexample remains the definitive witness)");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Shared infrastructure for the experiment drivers in `src/bin/` — each
+//! binary regenerates the evidence for one figure (or observation) of
+//! *Relaxing Safely* (PLDI 2015). See the workspace `EXPERIMENTS.md` for
+//! the figure → binary map and recorded results.
+
+use std::time::{Duration, Instant};
+
+use gc_model::invariants::{combined_property, safety_property};
+use gc_model::{GcModel, ModelConfig};
+use mc::{Checker, Outcome, Property};
+
+/// Which invariants a run checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// The full §3.2 suite (including the phase-ghost-indexed invariants,
+    /// which presuppose the faithful handshake structure).
+    Full,
+    /// Only the headline safety property `valid_refs_inv` — used for
+    /// ablations that intentionally change the handshake structure.
+    SafetyOnly,
+}
+
+/// The distilled result of one model-checking run.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// `VERIFIED`, `VIOLATED <inv>`, or `BOUNDED (...)`.
+    pub outcome: String,
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions traversed.
+    pub transitions: usize,
+    /// Deepest BFS level reached.
+    pub depth: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// The violated invariant, if any.
+    pub violated: Option<&'static str>,
+    /// The formatted counterexample trace, if any.
+    pub trace: Option<String>,
+}
+
+impl CheckReport {
+    /// Whether the run verified exhaustively.
+    pub fn verified(&self) -> bool {
+        self.outcome == "VERIFIED"
+    }
+}
+
+/// Model-checks `cfg` with the chosen suite, up to `max_states`
+/// (hash-compacted), and distils the outcome.
+pub fn check_config(
+    label: impl Into<String>,
+    cfg: &ModelConfig,
+    max_states: usize,
+    suite: Suite,
+) -> CheckReport {
+    let prop = match suite {
+        Suite::Full => combined_property(cfg),
+        Suite::SafetyOnly => safety_property(cfg),
+    };
+    check_config_with(label, cfg, max_states, vec![prop])
+}
+
+/// Like [`check_config`] but with caller-supplied properties.
+pub fn check_config_with(
+    label: impl Into<String>,
+    cfg: &ModelConfig,
+    max_states: usize,
+    properties: Vec<Property<gc_model::ModelState>>,
+) -> CheckReport {
+    let model = GcModel::new(cfg.clone());
+    let mut checker = Checker::new().max_states(max_states).hash_compact(true);
+    for p in properties {
+        checker = checker.property(p);
+    }
+    let t0 = Instant::now();
+    let outcome = checker.run(&model);
+    let elapsed = t0.elapsed();
+    let stats = outcome.stats();
+    let (outcome_str, violated, trace) = match &outcome {
+        Outcome::Verified(_) => ("VERIFIED".to_string(), None, None),
+        Outcome::Violated {
+            property, trace, ..
+        } => (
+            format!("VIOLATED {property}"),
+            Some(*property),
+            Some(model.format_trace(&trace.actions)),
+        ),
+        Outcome::BoundReached { bound, .. } => (format!("BOUNDED ({bound})"), None, None),
+        Outcome::Deadlock { trace, .. } => (
+            "DEADLOCK".to_string(),
+            None,
+            Some(model.format_trace(&trace.actions)),
+        ),
+    };
+    CheckReport {
+        label: label.into(),
+        outcome: outcome_str,
+        states: stats.states,
+        transitions: stats.transitions,
+        depth: stats.depth,
+        elapsed,
+        violated,
+        trace,
+    }
+}
+
+/// Prints a row-per-report table.
+pub fn print_table(reports: &[CheckReport]) {
+    println!(
+        "{:<44} {:>12} {:>13} {:>6} {:>9}  {}",
+        "configuration", "states", "transitions", "depth", "time", "outcome"
+    );
+    println!("{}", "-".repeat(118));
+    for r in reports {
+        println!(
+            "{:<44} {:>12} {:>13} {:>6} {:>8.1}s  {}",
+            r.label,
+            r.states,
+            r.transitions,
+            r.depth,
+            r.elapsed.as_secs_f64(),
+            r.outcome
+        );
+    }
+}
+
+/// Prints a counterexample trace, if present, under a header.
+pub fn print_trace(report: &CheckReport) {
+    if let Some(trace) = &report.trace {
+        println!("\ncounterexample for `{}`:", report.label);
+        println!("{trace}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_config_distils_outcomes() {
+        let mut cfg = ModelConfig::small(1, 2);
+        cfg.ops.alloc = false;
+        cfg.ops.load = false;
+        cfg.ops.store = false;
+        let report = check_config("tiny", &cfg, 500_000, Suite::Full);
+        assert!(report.states > 0);
+        assert!(report.violated.is_none(), "outcome: {}", report.outcome);
+    }
+}

@@ -1,0 +1,141 @@
+//! A pretty-printer for CIMP programs.
+//!
+//! Renders a program's command tree as indented text, with the labels of
+//! atomic commands visible — useful for eyeballing a model against its
+//! paper pseudo-code (the collector of Figure 2 prints as a structured
+//! outline) and for debugging control-flow mistakes in model construction.
+
+use std::fmt::Write as _;
+
+use crate::program::{Com, ComId, Program};
+
+/// Renders the sub-program rooted at `entry` as an indented outline.
+///
+/// Sequencing is flattened; loops, conditionals and choices indent their
+/// bodies. Shared sub-programs (the same [`ComId`] reachable through
+/// several parents, e.g. a `mark` routine inlined at multiple call sites)
+/// are printed in full at each occurrence unless they would recurse, which
+/// cannot happen since programs are DAGs by construction.
+pub fn render<S, Req, Resp>(program: &Program<S, Req, Resp>, entry: ComId) -> String {
+    let mut out = String::new();
+    render_into(program, entry, 0, &mut out);
+    out
+}
+
+/// Renders the whole program from its entry point.
+///
+/// # Panics
+///
+/// Panics if the program has no entry point.
+pub fn render_program<S, Req, Resp>(program: &Program<S, Req, Resp>) -> String {
+    render(program, program.entry())
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_into<S, Req, Resp>(
+    program: &Program<S, Req, Resp>,
+    id: ComId,
+    depth: usize,
+    out: &mut String,
+) {
+    match program.com(id) {
+        Com::LocalOp { label, .. } => {
+            indent(out, depth);
+            let _ = writeln!(out, "{{{label}}} local-op");
+        }
+        Com::Request { label, .. } => {
+            indent(out, depth);
+            let _ = writeln!(out, "{{{label}}} request");
+        }
+        Com::Response { label, .. } => {
+            indent(out, depth);
+            let _ = writeln!(out, "{{{label}}} response");
+        }
+        Com::Seq(a, b) => {
+            render_into(program, *a, depth, out);
+            render_into(program, *b, depth, out);
+        }
+        Com::If { then_c, else_c, .. } => {
+            indent(out, depth);
+            out.push_str("if <cond>\n");
+            render_into(program, *then_c, depth + 1, out);
+            if let Some(e) = else_c {
+                indent(out, depth);
+                out.push_str("else\n");
+                render_into(program, *e, depth + 1, out);
+            }
+        }
+        Com::While { body, .. } => {
+            indent(out, depth);
+            out.push_str("while <cond>\n");
+            render_into(program, *body, depth + 1, out);
+        }
+        Com::Loop(body) => {
+            indent(out, depth);
+            out.push_str("loop\n");
+            render_into(program, *body, depth + 1, out);
+        }
+        Com::Choose(branches) => {
+            indent(out, depth);
+            out.push_str("choose\n");
+            for (i, b) in branches.iter().enumerate() {
+                indent(out, depth);
+                let _ = writeln!(out, "| branch {i}");
+                render_into(program, *b, depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type P = Program<u32, (), ()>;
+
+    #[test]
+    fn renders_structure() {
+        let mut p = P::new();
+        let a = p.skip("a");
+        let b = p.skip("b");
+        let body = p.seq2(a, b);
+        let w = p.while_do(|s| *s < 3, body);
+        let init = p.assign("init", |s| *s = 0);
+        let main = p.seq2(init, w);
+        p.set_entry(main);
+        let text = render_program(&p);
+        assert_eq!(
+            text,
+            "{init} local-op\nwhile <cond>\n  {a} local-op\n  {b} local-op\n"
+        );
+    }
+
+    #[test]
+    fn renders_choice_and_if() {
+        let mut p = P::new();
+        let x = p.skip("x");
+        let y = p.skip("y");
+        let c = p.choose([x, y]);
+        let guard = p.if_then(|_| true, c);
+        p.set_entry(guard);
+        let text = render_program(&p);
+        assert!(text.contains("if <cond>"));
+        assert!(text.contains("| branch 0"));
+        assert!(text.contains("{y} local-op"));
+    }
+
+    #[test]
+    fn shared_subprograms_print_at_each_site() {
+        let mut p = P::new();
+        let shared = p.skip("shared");
+        let seq = p.seq2(shared, shared);
+        p.set_entry(seq);
+        let text = render_program(&p);
+        assert_eq!(text.matches("{shared}").count(), 2);
+    }
+}

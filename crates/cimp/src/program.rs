@@ -1,0 +1,425 @@
+//! CIMP syntax: commands, programs and the program builder.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A program-location label.
+///
+/// Every atomic command carries a label; the paper's local assertions are
+/// stated as "property holds when control for process *p* resides at *ℓ*"
+/// (`at p ℓ`), and counterexample traces print labels.
+pub type Label = &'static str;
+
+/// Index of a command within its [`Program`]'s arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComId(u32);
+
+impl ComId {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// A placeholder id for tests that build intentionally-unreachable
+    /// control structure; must never be dereferenced.
+    #[cfg(test)]
+    pub(crate) fn dummy_for_test() -> ComId {
+        ComId(u32::MAX)
+    }
+}
+
+/// Non-deterministic local operation: maps a local state to the set of
+/// possible successor local states. Returning an empty vector means the
+/// operation is *disabled* in that state (the process blocks), which is how
+/// guards/awaits are modelled.
+pub type OpFn<S> = Arc<dyn Fn(&S) -> Vec<S> + Send + Sync>;
+
+/// Computes the set of request values α the sender offers (data
+/// non-determinism: each α is offered as a separate potential rendezvous;
+/// an empty vector disables the request).
+pub type ActFn<S, Req> = Arc<dyn Fn(&S) -> Vec<Req> + Send + Sync>;
+
+/// Applies the chosen request α and the response value β to the sender's
+/// local state, non-deterministically.
+pub type RecvFn<S, Req, Resp> = Arc<dyn Fn(&S, &Req, &Resp) -> Vec<S> + Send + Sync>;
+
+/// The receiver's side of a rendezvous: given the request α and the
+/// receiver's local state, the set of (successor state, response β) pairs.
+/// An empty vector means the receiver cannot answer this particular request
+/// (no rendezvous forms), which is how the system process pattern-matches on
+/// request shapes.
+pub type RespFn<S, Req, Resp> = Arc<dyn Fn(&Req, &S) -> Vec<(S, Resp)> + Send + Sync>;
+
+/// Evaluates a branch condition on the local state.
+pub type CondFn<S> = Arc<dyn Fn(&S) -> bool + Send + Sync>;
+
+/// A CIMP command (Figure 7 of the paper).
+///
+/// `LocalOp`, `Request` and `Response` are the atomic commands — the only
+/// ones that produce transitions. The rest are control structure, resolved
+/// structurally by the semantics in [`crate::step`].
+pub enum Com<S, Req, Resp> {
+    /// `{ℓ} LOCALOP R`: non-deterministic update of the local state.
+    LocalOp {
+        /// Program location.
+        label: Label,
+        /// The update relation.
+        op: OpFn<S>,
+    },
+    /// `{ℓ} REQUEST act val`: offer a rendezvous with any of the request
+    /// values `act(s)`; on completion update the local state with the
+    /// chosen α and received β via `recv`.
+    Request {
+        /// Program location.
+        label: Label,
+        /// Computes the offered α values from the sender state.
+        act: ActFn<S, Req>,
+        /// Applies the chosen α and the received β to the sender state.
+        recv: RecvFn<S, Req, Resp>,
+    },
+    /// `{ℓ} RESPONSE f`: offer to answer a rendezvous; `resp` maps the
+    /// incoming α and the local state to possible (state, β) outcomes.
+    Response {
+        /// Program location.
+        label: Label,
+        /// The response relation.
+        resp: RespFn<S, Req, Resp>,
+    },
+    /// `c₁ ;; c₂`: sequential composition.
+    Seq(ComId, ComId),
+    /// `IF cond THEN c₁ ELSE c₂`: deterministic branch on local state.
+    /// `else_c = None` is a structural skip: a false condition simply
+    /// falls through to the continuation without producing a step.
+    If {
+        /// Branch condition over the local state.
+        cond: CondFn<S>,
+        /// Taken when the condition holds.
+        then_c: ComId,
+        /// Taken otherwise (`None`: fall through).
+        else_c: Option<ComId>,
+    },
+    /// `WHILE cond DO c`: loop while the condition holds.
+    While {
+        /// Loop condition over the local state.
+        cond: CondFn<S>,
+        /// Loop body.
+        body: ComId,
+    },
+    /// `LOOP c`: infinite repetition (the collector's outer loop).
+    Loop(ComId),
+    /// `c₁ ⊓ c₂ ⊓ …`: non-deterministic choice among branches. A branch
+    /// whose first atomic action is disabled simply cannot be chosen.
+    Choose(Vec<ComId>),
+}
+
+impl<S, Req, Resp> fmt::Debug for Com<S, Req, Resp> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Com::LocalOp { label, .. } => write!(f, "LocalOp({label})"),
+            Com::Request { label, .. } => write!(f, "Request({label})"),
+            Com::Response { label, .. } => write!(f, "Response({label})"),
+            Com::Seq(a, b) => write!(f, "Seq({a:?}, {b:?})"),
+            Com::If { then_c, else_c, .. } => write!(f, "If(_, {then_c:?}, {else_c:?})"),
+            Com::While { body, .. } => write!(f, "While(_, {body:?})"),
+            Com::Loop(c) => write!(f, "Loop({c:?})"),
+            Com::Choose(cs) => write!(f, "Choose({cs:?})"),
+        }
+    }
+}
+
+/// A CIMP program: an arena of commands plus an entry point.
+///
+/// Commands reference each other by [`ComId`], so control states (frame
+/// stacks of `ComId`) are cheap to clone, hash and compare — the property
+/// the model checker relies on.
+pub struct Program<S, Req, Resp> {
+    coms: Vec<Com<S, Req, Resp>>,
+    entry: Option<ComId>,
+}
+
+impl<S, Req, Resp> fmt::Debug for Program<S, Req, Resp> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Program")
+            .field("commands", &self.coms.len())
+            .field("entry", &self.entry)
+            .finish()
+    }
+}
+
+impl<S, Req, Resp> Default for Program<S, Req, Resp> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S, Req, Resp> Program<S, Req, Resp> {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program {
+            coms: Vec::new(),
+            entry: None,
+        }
+    }
+
+    /// Number of commands in the arena.
+    pub fn len(&self) -> usize {
+        self.coms.len()
+    }
+
+    /// Whether the program has no commands.
+    pub fn is_empty(&self) -> bool {
+        self.coms.is_empty()
+    }
+
+    /// The command stored at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn com(&self, id: ComId) -> &Com<S, Req, Resp> {
+        &self.coms[id.index()]
+    }
+
+    /// Sets the program's entry point.
+    pub fn set_entry(&mut self, entry: ComId) {
+        self.entry = Some(entry);
+    }
+
+    /// The program's entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry point was set.
+    pub fn entry(&self) -> ComId {
+        self.entry.expect("program entry point not set")
+    }
+
+    fn push(&mut self, com: Com<S, Req, Resp>) -> ComId {
+        let id = ComId(u32::try_from(self.coms.len()).expect("program too large"));
+        self.coms.push(com);
+        id
+    }
+
+    /// Adds a non-deterministic local operation.
+    pub fn local_op(
+        &mut self,
+        label: Label,
+        op: impl Fn(&S) -> Vec<S> + Send + Sync + 'static,
+    ) -> ComId {
+        self.push(Com::LocalOp {
+            label,
+            op: Arc::new(op),
+        })
+    }
+
+    /// Adds a deterministic local assignment (a `LocalOp` with exactly one
+    /// successor).
+    pub fn assign(&mut self, label: Label, f: impl Fn(&mut S) + Send + Sync + 'static) -> ComId
+    where
+        S: Clone,
+    {
+        self.local_op(label, move |s| {
+            let mut s2 = s.clone();
+            f(&mut s2);
+            vec![s2]
+        })
+    }
+
+    /// Adds a guard: a step that is enabled only when `cond` holds and
+    /// leaves the state unchanged (an *await*).
+    pub fn guard(&mut self, label: Label, cond: impl Fn(&S) -> bool + Send + Sync + 'static) -> ComId
+    where
+        S: Clone,
+    {
+        self.local_op(
+            label,
+            move |s| if cond(s) { vec![s.clone()] } else { Vec::new() },
+        )
+    }
+
+    /// Adds a no-op step (useful as a visible program point).
+    pub fn skip(&mut self, label: Label) -> ComId
+    where
+        S: Clone,
+    {
+        self.local_op(label, |s| vec![s.clone()])
+    }
+
+    /// Adds a `Request` command with a single (deterministic) request value
+    /// — the paper's `REQUEST act val`.
+    pub fn request(
+        &mut self,
+        label: Label,
+        act: impl Fn(&S) -> Req + Send + Sync + 'static,
+        recv: impl Fn(&S, &Resp) -> Vec<S> + Send + Sync + 'static,
+    ) -> ComId {
+        self.push(Com::Request {
+            label,
+            act: Arc::new(move |s| vec![act(s)]),
+            recv: Arc::new(move |s, _req, beta| recv(s, beta)),
+        })
+    }
+
+    /// Adds a `Request` command offering a *set* of request values (data
+    /// non-determinism): each α in `act(s)` is a separate potential
+    /// rendezvous, and `recv` learns which α was taken. An empty set
+    /// disables the request.
+    pub fn request_nd(
+        &mut self,
+        label: Label,
+        act: impl Fn(&S) -> Vec<Req> + Send + Sync + 'static,
+        recv: impl Fn(&S, &Req, &Resp) -> Vec<S> + Send + Sync + 'static,
+    ) -> ComId {
+        self.push(Com::Request {
+            label,
+            act: Arc::new(act),
+            recv: Arc::new(recv),
+        })
+    }
+
+    /// Adds a `Request` whose response is ignored (the state is unchanged
+    /// upon completion).
+    pub fn request_ignore(
+        &mut self,
+        label: Label,
+        act: impl Fn(&S) -> Req + Send + Sync + 'static,
+    ) -> ComId
+    where
+        S: Clone,
+    {
+        self.request(label, act, |s, _| vec![s.clone()])
+    }
+
+    /// Adds a `Response` command.
+    pub fn response(
+        &mut self,
+        label: Label,
+        resp: impl Fn(&Req, &S) -> Vec<(S, Resp)> + Send + Sync + 'static,
+    ) -> ComId {
+        self.push(Com::Response {
+            label,
+            resp: Arc::new(resp),
+        })
+    }
+
+    /// Sequential composition of two commands.
+    pub fn seq2(&mut self, first: ComId, second: ComId) -> ComId {
+        self.push(Com::Seq(first, second))
+    }
+
+    /// Sequential composition of a non-empty list of commands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cmds` is empty.
+    pub fn seq(&mut self, cmds: impl IntoIterator<Item = ComId>) -> ComId {
+        let mut iter = cmds.into_iter();
+        let first = iter.next().expect("seq of zero commands");
+        iter.fold(first, |acc, c| self.seq2(acc, c))
+    }
+
+    /// `IF cond THEN then_c ELSE else_c`.
+    pub fn if_else(
+        &mut self,
+        cond: impl Fn(&S) -> bool + Send + Sync + 'static,
+        then_c: ComId,
+        else_c: ComId,
+    ) -> ComId {
+        self.push(Com::If {
+            cond: Arc::new(cond),
+            then_c,
+            else_c: Some(else_c),
+        })
+    }
+
+    /// `IF cond THEN then_c` — a false condition falls through
+    /// *structurally*, producing no step.
+    pub fn if_then(
+        &mut self,
+        cond: impl Fn(&S) -> bool + Send + Sync + 'static,
+        then_c: ComId,
+    ) -> ComId {
+        self.push(Com::If {
+            cond: Arc::new(cond),
+            then_c,
+            else_c: None,
+        })
+    }
+
+    /// `WHILE cond DO body`.
+    pub fn while_do(
+        &mut self,
+        cond: impl Fn(&S) -> bool + Send + Sync + 'static,
+        body: ComId,
+    ) -> ComId {
+        self.push(Com::While {
+            cond: Arc::new(cond),
+            body,
+        })
+    }
+
+    /// `LOOP body`: repeat forever.
+    pub fn loop_forever(&mut self, body: ComId) -> ComId {
+        self.push(Com::Loop(body))
+    }
+
+    /// Non-deterministic choice among the given branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches` is empty.
+    pub fn choose(&mut self, branches: impl IntoIterator<Item = ComId>) -> ComId {
+        let branches: Vec<ComId> = branches.into_iter().collect();
+        assert!(!branches.is_empty(), "choose of zero branches");
+        self.push(Com::Choose(branches))
+    }
+
+    /// The label of an atomic command, if `id` refers to one.
+    pub fn label(&self, id: ComId) -> Option<Label> {
+        match self.com(id) {
+            Com::LocalOp { label, .. }
+            | Com::Request { label, .. }
+            | Com::Response { label, .. } => Some(label),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type P = Program<u32, (), ()>;
+
+    #[test]
+    fn builder_allocates_dense_ids() {
+        let mut p = P::new();
+        let a = p.skip("a");
+        let b = p.skip("b");
+        let s = p.seq2(a, b);
+        assert_eq!(p.len(), 3);
+        assert!(matches!(p.com(s), Com::Seq(x, y) if *x == a && *y == b));
+    }
+
+    #[test]
+    fn labels_only_on_atomic_commands() {
+        let mut p = P::new();
+        let a = p.assign("inc", |s| *s += 1);
+        let w = p.while_do(|s| *s < 3, a);
+        assert_eq!(p.label(a), Some("inc"));
+        assert_eq!(p.label(w), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry point not set")]
+    fn entry_unset_panics() {
+        let p = P::new();
+        let _ = p.entry();
+    }
+
+    #[test]
+    #[should_panic(expected = "choose of zero branches")]
+    fn empty_choose_panics() {
+        let mut p = P::new();
+        let _ = p.choose([]);
+    }
+}

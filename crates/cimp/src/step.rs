@@ -1,0 +1,368 @@
+//! CIMP process semantics: the local small-step relation `→γ` of Figure 7.
+//!
+//! A process's control state is a [`Stack`] of command ids (a frame stack,
+//! top at the end of the vector). Control structure — `Seq`, `If`, `While`,
+//! `Loop`, `Choose` — is resolved *structurally* while computing the enabled
+//! steps; only the atomic commands (`LocalOp`, `Request`, `Response`)
+//! produce [`PendingStep`]s. Because branch conditions read only the
+//! process's own local state, which no other process can modify, folding
+//! their evaluation into the next atomic action preserves the reachable
+//! state set while removing needless interleaving points.
+
+use crate::program::{Com, ComId, Label, Program, RecvFn, RespFn};
+
+/// A process's control state: a frame stack of commands, **top at the end**.
+/// An empty stack means the process has terminated.
+pub type Stack = Vec<ComId>;
+
+/// An enabled atomic step of a single process, before any system-level
+/// pairing. The embedded `stack` is the control state *after* the step.
+pub enum PendingStep<S, Req, Resp> {
+    /// A `τ` step: local computation.
+    Tau {
+        /// Label of the `LocalOp` taken.
+        label: Label,
+        /// Control state after the step.
+        stack: Stack,
+        /// Local data state after the step.
+        state: S,
+    },
+    /// An offered `Request` with one specific α (a request offering several
+    /// α values yields several `Send`s): the rendezvous completes only if
+    /// some other process offers a matching `Response`.
+    Send {
+        /// Label of the `Request`.
+        label: Label,
+        /// The request value α, already computed from the sender's state.
+        req: Req,
+        /// Control state after the rendezvous.
+        stack: Stack,
+        /// Applies the chosen α and the eventual response β to the sender's
+        /// state.
+        recv: RecvFn<S, Req, Resp>,
+    },
+    /// An offered `Response`.
+    Recv {
+        /// Label of the `Response`.
+        label: Label,
+        /// Control state after the rendezvous.
+        stack: Stack,
+        /// The response relation, applied to the incoming α.
+        resp: RespFn<S, Req, Resp>,
+    },
+}
+
+impl<S, Req: std::fmt::Debug, Resp> std::fmt::Debug for PendingStep<S, Req, Resp> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PendingStep::Tau { label, .. } => write!(f, "Tau({label})"),
+            PendingStep::Send { label, req, .. } => write!(f, "Send({label}, {req:?})"),
+            PendingStep::Recv { label, .. } => write!(f, "Recv({label})"),
+        }
+    }
+}
+
+/// Upper bound on structural unfoldings while computing one step, to turn
+/// busy loops with no atomic action (`WHILE true DO <nothing atomic>`) into
+/// a panic instead of divergence. Generously larger than any real program's
+/// nesting depth.
+const MAX_STRUCTURAL_DEPTH: usize = 10_000;
+
+/// Computes the enabled atomic steps of a process with control `stack` and
+/// local state `state` (the `→γ` relation restricted to its atomic heads).
+///
+/// # Panics
+///
+/// Panics if structural unfolding exceeds an internal bound, which indicates
+/// a control loop containing no atomic command.
+pub fn enabled_steps<S, Req, Resp>(
+    program: &Program<S, Req, Resp>,
+    stack: &Stack,
+    state: &S,
+) -> Vec<PendingStep<S, Req, Resp>>
+where
+    S: Clone,
+{
+    let mut out = Vec::new();
+    let mut work: Vec<Stack> = vec![stack.clone()];
+    let mut expansions = 0usize;
+    while let Some(mut stack) = work.pop() {
+        expansions += 1;
+        assert!(
+            expansions < MAX_STRUCTURAL_DEPTH,
+            "structural unfolding diverged: control loop with no atomic command"
+        );
+        let Some(top) = stack.pop() else {
+            continue; // terminated process: no steps
+        };
+        match program.com(top) {
+            Com::LocalOp { label, op } => {
+                for s2 in op(state) {
+                    out.push(PendingStep::Tau {
+                        label,
+                        stack: stack.clone(),
+                        state: s2,
+                    });
+                }
+            }
+            Com::Request { label, act, recv } => {
+                for req in act(state) {
+                    out.push(PendingStep::Send {
+                        label,
+                        req,
+                        stack: stack.clone(),
+                        recv: recv.clone(),
+                    });
+                }
+            }
+            Com::Response { label, resp } => {
+                out.push(PendingStep::Recv {
+                    label,
+                    stack,
+                    resp: resp.clone(),
+                });
+            }
+            Com::Seq(a, b) => {
+                stack.push(*b);
+                stack.push(*a);
+                work.push(stack);
+            }
+            Com::If { cond, then_c, else_c } => {
+                if cond(state) {
+                    stack.push(*then_c);
+                } else if let Some(e) = else_c {
+                    stack.push(*e);
+                }
+                work.push(stack);
+            }
+            Com::While { cond, body } => {
+                if cond(state) {
+                    stack.push(top); // the While itself: re-test after the body
+                    stack.push(*body);
+                }
+                work.push(stack);
+            }
+            Com::Loop(body) => {
+                stack.push(top);
+                stack.push(*body);
+                work.push(stack);
+            }
+            Com::Choose(branches) => {
+                for &branch in branches {
+                    let mut s = stack.clone();
+                    s.push(branch);
+                    work.push(s);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The labels of the atomic commands that could execute next from `stack`
+/// in `state` — the executable analogue of the paper's `at p ℓ` predicate.
+///
+/// Branch conditions are resolved against `state`, so the result is the set
+/// of labels reachable without executing any atomic command. For a `Choose`
+/// this can contain several labels; for straight-line code exactly one.
+pub fn at_labels<S, Req, Resp>(
+    program: &Program<S, Req, Resp>,
+    stack: &Stack,
+    state: &S,
+) -> Vec<Label>
+where
+    S: Clone,
+{
+    enabled_steps(program, stack, state)
+        .iter()
+        .map(|s| match s {
+            PendingStep::Tau { label, .. }
+            | PendingStep::Send { label, .. }
+            | PendingStep::Recv { label, .. } => *label,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+
+    type P = Program<u32, u32, u32>;
+
+    fn initial(p: &P) -> Stack {
+        vec![p.entry()]
+    }
+
+    #[test]
+    fn local_op_steps_and_pops() {
+        let mut p = P::new();
+        let inc = p.assign("inc", |s| *s += 1);
+        p.set_entry(inc);
+        let steps = enabled_steps(&p, &initial(&p), &0);
+        assert_eq!(steps.len(), 1);
+        match &steps[0] {
+            PendingStep::Tau { label, stack, state } => {
+                assert_eq!(*label, "inc");
+                assert!(stack.is_empty());
+                assert_eq!(*state, 1);
+            }
+            other => panic!("expected Tau, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nondeterministic_local_op_yields_all_successors() {
+        let mut p = P::new();
+        let flip = p.local_op("flip", |s| vec![*s, *s + 10]);
+        p.set_entry(flip);
+        let steps = enabled_steps(&p, &initial(&p), &1);
+        assert_eq!(steps.len(), 2);
+    }
+
+    #[test]
+    fn disabled_guard_blocks() {
+        let mut p = P::new();
+        let g = p.guard("await", |s| *s > 5);
+        p.set_entry(g);
+        assert!(enabled_steps(&p, &initial(&p), &0).is_empty());
+        assert_eq!(enabled_steps(&p, &initial(&p), &6).len(), 1);
+    }
+
+    #[test]
+    fn seq_exposes_first_then_second() {
+        let mut p = P::new();
+        let a = p.assign("a", |s| *s += 1);
+        let b = p.assign("b", |s| *s *= 2);
+        let s = p.seq2(a, b);
+        p.set_entry(s);
+        let steps = enabled_steps(&p, &initial(&p), &1);
+        assert_eq!(steps.len(), 1);
+        let PendingStep::Tau { label, stack, state } = &steps[0] else {
+            panic!()
+        };
+        assert_eq!(*label, "a");
+        assert_eq!(*state, 2);
+        // Continue from the post-step stack: `b` is next.
+        let steps2 = enabled_steps(&p, stack, state);
+        let PendingStep::Tau { label, state, .. } = &steps2[0] else {
+            panic!()
+        };
+        assert_eq!(*label, "b");
+        assert_eq!(*state, 4);
+    }
+
+    #[test]
+    fn if_resolves_on_local_state() {
+        let mut p = P::new();
+        let t = p.skip("then");
+        let e = p.skip("else");
+        let c = p.if_else(|s| *s == 0, t, e);
+        p.set_entry(c);
+        assert_eq!(at_labels(&p, &initial(&p), &0), vec!["then"]);
+        assert_eq!(at_labels(&p, &initial(&p), &1), vec!["else"]);
+    }
+
+    #[test]
+    fn while_iterates_and_exits() {
+        let mut p = P::new();
+        let body = p.assign("inc", |s| *s += 1);
+        let w = p.while_do(|s| *s < 3, body);
+        let done = p.skip("done");
+        let all = p.seq2(w, done);
+        p.set_entry(all);
+        // Drive the loop to completion.
+        let mut stack = initial(&p);
+        let mut state = 0u32;
+        let mut labels = Vec::new();
+        loop {
+            let steps = enabled_steps(&p, &stack, &state);
+            if steps.is_empty() {
+                break;
+            }
+            assert_eq!(steps.len(), 1);
+            let PendingStep::Tau {
+                label,
+                stack: s2,
+                state: st2,
+            } = &steps[0]
+            else {
+                panic!()
+            };
+            labels.push(*label);
+            stack = s2.clone();
+            state = *st2;
+        }
+        assert_eq!(labels, vec!["inc", "inc", "inc", "done"]);
+        assert_eq!(state, 3);
+    }
+
+    #[test]
+    fn loop_never_terminates() {
+        let mut p = P::new();
+        let body = p.assign("tick", |s| *s = s.wrapping_add(1));
+        let l = p.loop_forever(body);
+        p.set_entry(l);
+        let mut stack = initial(&p);
+        let mut state = 0u32;
+        for _ in 0..100 {
+            let steps = enabled_steps(&p, &stack, &state);
+            assert_eq!(steps.len(), 1);
+            let PendingStep::Tau {
+                stack: s2,
+                state: st2,
+                ..
+            } = &steps[0]
+            else {
+                panic!()
+            };
+            stack = s2.clone();
+            state = *st2;
+        }
+        assert_eq!(state, 100);
+    }
+
+    #[test]
+    fn choose_offers_all_enabled_branches() {
+        let mut p = P::new();
+        let a = p.skip("a");
+        let b = p.guard("b", |s| *s > 0);
+        let c = p.choose([a, b]);
+        p.set_entry(c);
+        assert_eq!(at_labels(&p, &initial(&p), &0), vec!["a"]);
+        let mut at1 = at_labels(&p, &initial(&p), &1);
+        at1.sort_unstable();
+        assert_eq!(at1, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn request_carries_computed_alpha() {
+        let mut p = P::new();
+        let r = p.request("ask", |s| s * 2, |s, beta| vec![s + beta]);
+        p.set_entry(r);
+        let steps = enabled_steps(&p, &initial(&p), &21);
+        let PendingStep::Send { req, recv, .. } = &steps[0] else {
+            panic!()
+        };
+        assert_eq!(*req, 42);
+        assert_eq!(recv(&21, req, &1), vec![22]);
+    }
+
+    #[test]
+    fn terminated_process_has_no_steps() {
+        let p = P::new();
+        assert!(enabled_steps(&p, &Vec::new(), &0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "structural unfolding diverged")]
+    fn busy_control_loop_panics() {
+        let mut p = P::new();
+        // WHILE true DO (if true then ... with no atomic action): encode a
+        // loop whose body is another empty while.
+        let inner = p.while_do(|_| false, crate::program::ComId::dummy_for_test());
+        let outer = p.while_do(|_| true, inner);
+        p.set_entry(outer);
+        let _ = enabled_steps(&p, &vec![p.entry()], &0);
+    }
+}

@@ -1,0 +1,442 @@
+//! CIMP system semantics: top-level interleaving and rendezvous (Figure 8).
+//!
+//! A [`System`] is a flat parallel composition of named processes, each with
+//! its own [`Program`](crate::Program) and local state. The global
+//! transition relation `⇒` has two rules:
+//!
+//! * **interleaving**: any process with an enabled `τ` step takes it alone;
+//! * **rendezvous**: a process offering a `Request` (α computed from its
+//!   state) pairs with a *different* process offering a `Response`; both
+//!   update their local states simultaneously, the responder choosing β.
+//!
+//! All processes share one local-state type `S` (in heterogeneous models,
+//! an enum over the per-role states) and one request/response vocabulary.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::program::{Label, Program};
+use crate::step::{at_labels, enabled_steps, PendingStep, Stack};
+
+/// Index of a process within a [`System`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub usize);
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// What happened in one global step — used for counterexample traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<Req, Resp> {
+    /// Process `proc` performed local computation at `label`.
+    Tau {
+        /// The stepping process.
+        proc: ProcId,
+        /// Program location of the `LocalOp`.
+        label: Label,
+    },
+    /// `sender` and `receiver` completed a rendezvous.
+    Comm {
+        /// The requesting process.
+        sender: ProcId,
+        /// The responding process.
+        receiver: ProcId,
+        /// Location of the `Request`.
+        send_label: Label,
+        /// Location of the `Response`.
+        recv_label: Label,
+        /// The request value α.
+        req: Req,
+        /// The response value β.
+        resp: Resp,
+    },
+}
+
+impl<Req: fmt::Debug, Resp: fmt::Debug> fmt::Display for Event<Req, Resp> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Tau { proc, label } => write!(f, "{proc}: {label}"),
+            Event::Comm {
+                sender,
+                receiver,
+                send_label,
+                recv_label,
+                req,
+                resp,
+            } => write!(
+                f,
+                "{sender}:{send_label} --{req:?}--> {receiver}:{recv_label} ==> {resp:?}"
+            ),
+        }
+    }
+}
+
+/// A global state: the control stack and local data state of every process.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SystemState<S> {
+    controls: Vec<Stack>,
+    locals: Vec<S>,
+}
+
+impl<S> SystemState<S> {
+    /// The local data state of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn local(&self, p: usize) -> &S {
+        &self.locals[p]
+    }
+
+    /// All local data states, indexed by process.
+    pub fn locals(&self) -> &[S] {
+        &self.locals
+    }
+
+    /// The control stack of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn control(&self, p: usize) -> &Stack {
+        &self.controls[p]
+    }
+
+    /// Whether process `p` has terminated (empty control stack).
+    pub fn terminated(&self, p: usize) -> bool {
+        self.controls[p].is_empty()
+    }
+
+    /// Builds a state directly from parts (for tests and invariant
+    /// satisfiability witnesses).
+    pub fn from_parts(controls: Vec<Stack>, locals: Vec<S>) -> Self {
+        assert_eq!(controls.len(), locals.len());
+        SystemState { controls, locals }
+    }
+}
+
+struct Process<S, Req, Resp> {
+    name: &'static str,
+    program: Rc<Program<S, Req, Resp>>,
+    initial: S,
+}
+
+/// A flat parallel composition of CIMP processes.
+pub struct System<S, Req, Resp> {
+    procs: Vec<Process<S, Req, Resp>>,
+}
+
+impl<S, Req, Resp> fmt::Debug for System<S, Req, Resp> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field(
+                "processes",
+                &self.procs.iter().map(|p| p.name).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl<S, Req, Resp> System<S, Req, Resp>
+where
+    S: Clone,
+    Req: Clone,
+    Resp: Clone,
+{
+    /// Creates a system from `(name, program, initial local state)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is empty or any program lacks an entry point.
+    pub fn new(procs: Vec<(&'static str, Program<S, Req, Resp>, S)>) -> Self {
+        assert!(!procs.is_empty(), "system of zero processes");
+        System {
+            procs: procs
+                .into_iter()
+                .map(|(name, program, initial)| {
+                    let _ = program.entry(); // panic early if unset
+                    Process {
+                        name,
+                        program: Rc::new(program),
+                        initial,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Whether the system has no processes (never true for a constructed
+    /// system).
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// The display name of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn name(&self, p: ProcId) -> &'static str {
+        self.procs[p.0].name
+    }
+
+    /// The index of the process named `name`, if any.
+    pub fn find(&self, name: &str) -> Option<ProcId> {
+        self.procs.iter().position(|p| p.name == name).map(ProcId)
+    }
+
+    /// The initial global state.
+    pub fn initial_state(&self) -> SystemState<S> {
+        SystemState {
+            controls: self.procs.iter().map(|p| vec![p.program.entry()]).collect(),
+            locals: self.procs.iter().map(|p| p.initial.clone()).collect(),
+        }
+    }
+
+    /// The executable `at p ℓ` predicate: the labels process `p` may execute
+    /// next from `state`.
+    pub fn at(&self, state: &SystemState<S>, p: ProcId) -> Vec<Label> {
+        at_labels(
+            &self.procs[p.0].program,
+            &state.controls[p.0],
+            &state.locals[p.0],
+        )
+    }
+
+    /// All global successor states with the events that produce them — the
+    /// `⇒` relation of Figure 8.
+    pub fn successors(&self, state: &SystemState<S>) -> Vec<(Event<Req, Resp>, SystemState<S>)> {
+        let mut out = Vec::new();
+        // Per-process enabled steps, computed once.
+        let steps: Vec<Vec<PendingStep<S, Req, Resp>>> = self
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| enabled_steps(&p.program, &state.controls[i], &state.locals[i]))
+            .collect();
+
+        // Interleaved τ steps.
+        for (i, proc_steps) in steps.iter().enumerate() {
+            for s in proc_steps {
+                if let PendingStep::Tau {
+                    label,
+                    stack,
+                    state: local,
+                } = s
+                {
+                    let mut next = state.clone();
+                    next.controls[i] = stack.clone();
+                    next.locals[i] = local.clone();
+                    out.push((
+                        Event::Tau {
+                            proc: ProcId(i),
+                            label,
+                        },
+                        next,
+                    ));
+                }
+            }
+        }
+
+        // Rendezvous: sender i, receiver j, i ≠ j.
+        for (i, sender_steps) in steps.iter().enumerate() {
+            for send in sender_steps {
+                let PendingStep::Send {
+                    label: send_label,
+                    req,
+                    stack: send_stack,
+                    recv,
+                } = send
+                else {
+                    continue;
+                };
+                for (j, recv_steps) in steps.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    for rc in recv_steps {
+                        let PendingStep::Recv {
+                            label: recv_label,
+                            stack: recv_stack,
+                            resp,
+                        } = rc
+                        else {
+                            continue;
+                        };
+                        for (recv_local, beta) in resp(req, &state.locals[j]) {
+                            for send_local in recv(&state.locals[i], req, &beta) {
+                                let mut next = state.clone();
+                                next.controls[i] = send_stack.clone();
+                                next.locals[i] = send_local.clone();
+                                next.controls[j] = recv_stack.clone();
+                                next.locals[j] = recv_local.clone();
+                                out.push((
+                                    Event::Comm {
+                                        sender: ProcId(i),
+                                        receiver: ProcId(j),
+                                        send_label,
+                                        recv_label,
+                                        req: req.clone(),
+                                        resp: beta.clone(),
+                                    },
+                                    next,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type P = Program<u32, u32, u32>;
+
+    fn counter(label: Label) -> P {
+        let mut p = P::new();
+        let inc = p.assign(label, |s| *s += 1);
+        p.set_entry(inc);
+        p
+    }
+
+    #[test]
+    fn taus_interleave() {
+        let sys = System::new(vec![
+            ("a", counter("inc_a"), 0),
+            ("b", counter("inc_b"), 0),
+        ]);
+        let init = sys.initial_state();
+        let succs = sys.successors(&init);
+        assert_eq!(succs.len(), 2);
+        // One step leaves the other process untouched.
+        let (_, s0) = &succs[0];
+        assert_eq!(s0.locals(), &[1, 0]);
+    }
+
+    #[test]
+    fn rendezvous_updates_both_parties() {
+        let mut client = P::new();
+        let ask = client.request("ask", |s| *s, |s, beta| vec![s + beta]);
+        client.set_entry(ask);
+
+        let mut server = P::new();
+        let ans = server.response("answer", |alpha, s| vec![(s + 1, alpha * 2)]);
+        server.set_entry(ans);
+
+        let sys = System::new(vec![("client", client, 10), ("server", server, 100)]);
+        let succs = sys.successors(&sys.initial_state());
+        assert_eq!(succs.len(), 1);
+        let (ev, next) = &succs[0];
+        match ev {
+            Event::Comm {
+                sender,
+                receiver,
+                req,
+                resp,
+                ..
+            } => {
+                assert_eq!(sys.name(*sender), "client");
+                assert_eq!(sys.name(*receiver), "server");
+                assert_eq!(*req, 10);
+                assert_eq!(*resp, 20);
+            }
+            other => panic!("expected Comm, got {other:?}"),
+        }
+        assert_eq!(next.locals(), &[30, 101]);
+        // Both processes have terminated.
+        assert!(next.terminated(0));
+        assert!(next.terminated(1));
+    }
+
+    #[test]
+    fn no_self_rendezvous() {
+        // A single process offering both a Request and (next) a Response
+        // cannot synchronise with itself.
+        let mut p = P::new();
+        let ask = p.request("ask", |s| *s, |s, _| vec![*s]);
+        p.set_entry(ask);
+        let sys = System::new(vec![("lonely", p, 0)]);
+        assert!(sys.successors(&sys.initial_state()).is_empty());
+    }
+
+    #[test]
+    fn responder_filters_requests() {
+        // The server only answers even requests: odd client blocks forever.
+        let build = |init: u32| {
+            let mut client = P::new();
+            let ask = client.request("ask", |s| *s, |s, _| vec![*s]);
+            client.set_entry(ask);
+            let mut server = P::new();
+            let ans = server.response("answer", |alpha, s| {
+                if alpha % 2 == 0 {
+                    vec![(*s, 0)]
+                } else {
+                    vec![]
+                }
+            });
+            server.set_entry(ans);
+            System::new(vec![("client", client, init), ("server", server, 0)])
+        };
+        assert_eq!(build(2).successors(&build(2).initial_state()).len(), 1);
+        assert!(build(3).successors(&build(3).initial_state()).is_empty());
+    }
+
+    #[test]
+    fn nondeterministic_response_fans_out() {
+        let mut client = P::new();
+        let ask = client.request("ask", |s| *s, |_, beta| vec![*beta]);
+        client.set_entry(ask);
+        let mut server = P::new();
+        let ans = server.response("answer", |_, s| vec![(*s, 7), (*s, 8)]);
+        server.set_entry(ans);
+        let sys = System::new(vec![("client", client, 0), ("server", server, 0)]);
+        let succs = sys.successors(&sys.initial_state());
+        assert_eq!(succs.len(), 2);
+        let mut finals: Vec<u32> = succs.iter().map(|(_, s)| *s.local(0)).collect();
+        finals.sort_unstable();
+        assert_eq!(finals, vec![7, 8]);
+    }
+
+    #[test]
+    fn at_reports_next_labels() {
+        let sys = System::new(vec![("a", counter("inc_a"), 0)]);
+        let init = sys.initial_state();
+        assert_eq!(sys.at(&init, ProcId(0)), vec!["inc_a"]);
+    }
+
+    #[test]
+    fn find_locates_processes_by_name() {
+        let sys = System::new(vec![
+            ("a", counter("x"), 0),
+            ("b", counter("y"), 0),
+        ]);
+        assert_eq!(sys.find("b"), Some(ProcId(1)));
+        assert_eq!(sys.find("zz"), None);
+    }
+
+    #[test]
+    fn event_display_is_readable() {
+        let ev: Event<u32, u32> = Event::Comm {
+            sender: ProcId(0),
+            receiver: ProcId(1),
+            send_label: "ask",
+            recv_label: "answer",
+            req: 5,
+            resp: 10,
+        };
+        assert_eq!(ev.to_string(), "p0:ask --5--> p1:answer ==> 10");
+    }
+}

@@ -1,0 +1,83 @@
+//! Runtime collector configuration.
+
+/// Configuration for a [`Collector`](crate::Collector).
+///
+/// The ablation switches mirror the model's
+/// (`gc-model::ModelConfig`) so that the stress tests can reproduce on real
+/// threads exactly the failures the model checker exhibits as traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcConfig {
+    /// Number of object slots in the heap.
+    pub capacity: usize,
+    /// Maximum reference fields per object (per-object counts are chosen at
+    /// allocation, up to this bound).
+    pub max_fields: usize,
+    /// Validate every heap access against the slot epoch (use-after-free
+    /// detection — the runtime oracle for the safety property). Costs two
+    /// relaxed loads per access; on for all tests.
+    pub validate: bool,
+    /// **Ablation** — `false` removes the deletion barrier from
+    /// [`Mutator::store`](crate::Mutator::store).
+    pub deletion_barrier: bool,
+    /// **Ablation** — `false` removes the insertion barrier.
+    pub insertion_barrier: bool,
+    /// **Ablation** — `false` replaces the marking CAS by an
+    /// unsynchronised read-modify-write (racing markers may both "win").
+    pub mark_cas: bool,
+    /// **Ablation** — `false` removes the handshake fences.
+    pub handshake_fences: bool,
+    /// Per-mutator allocation pool size (the §4 extension): each mutator
+    /// reserves this many slots from the global free list at a time and
+    /// allocates from them without synchronisation. `0` disables pooling
+    /// (every allocation takes the free-list lock, as in the verified
+    /// model).
+    pub alloc_pool: usize,
+}
+
+impl GcConfig {
+    /// A configuration with the given heap capacity and per-object field
+    /// bound, everything faithful, validation on.
+    pub fn new(capacity: usize, max_fields: usize) -> Self {
+        assert!(capacity > 0, "heap capacity must be positive");
+        assert!(
+            capacity <= u32::MAX as usize - 1,
+            "heap capacity exceeds the handle index space"
+        );
+        assert!(max_fields <= 255, "at most 255 fields per object");
+        GcConfig {
+            capacity,
+            max_fields,
+            validate: true,
+            deletion_barrier: true,
+            insertion_barrier: true,
+            mark_cas: true,
+            handshake_fences: true,
+            alloc_pool: 0,
+        }
+    }
+
+    /// Enables the §4 allocation-pool extension with the given batch size.
+    #[must_use]
+    pub fn with_alloc_pool(mut self, slots: usize) -> Self {
+        self.alloc_pool = slots;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_faithful() {
+        let c = GcConfig::new(16, 2);
+        assert!(c.validate && c.deletion_barrier && c.insertion_barrier);
+        assert!(c.mark_cas && c.handshake_fences);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = GcConfig::new(0, 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Collector statistics: global counters and per-cycle records.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// A record of one completed collection cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleStats {
+    /// Objects freed by this cycle's sweep.
+    pub freed: usize,
+    /// Objects traced (blackened) by the collector's mark loop.
+    pub traced: usize,
+    /// Grey references received from mutators (roots + barrier marks).
+    pub received: usize,
+    /// Work-transfer (termination) handshake rounds run.
+    pub work_rounds: usize,
+    /// Objects still allocated after the sweep.
+    pub live_after: usize,
+    /// Wall-clock duration of the cycle in nanoseconds.
+    pub duration_ns: u64,
+    /// Time spent initiating + awaiting soft handshakes (ns) — the cost of
+    /// raggedness.
+    pub handshake_ns: u64,
+    /// Time spent in the collector's mark loop (ns), excluding the
+    /// embedded termination handshakes.
+    pub mark_ns: u64,
+    /// Time spent sweeping (ns).
+    pub sweep_ns: u64,
+}
+
+impl CycleStats {
+    /// The cycle duration.
+    pub fn duration(&self) -> Duration {
+        Duration::from_nanos(self.duration_ns)
+    }
+}
+
+/// Global collector counters. All counters are monotonic and updated with
+/// relaxed atomics (they are diagnostics, not synchronisation).
+#[derive(Debug, Default)]
+pub struct GcStats {
+    pub(crate) cycles: AtomicU64,
+    pub(crate) allocated: AtomicU64,
+    pub(crate) freed: AtomicU64,
+    pub(crate) barrier_checks: AtomicU64,
+    pub(crate) barrier_cas_won: AtomicU64,
+    pub(crate) barrier_cas_lost: AtomicU64,
+    pub(crate) handshakes: AtomicU64,
+    pub(crate) history: Mutex<Vec<CycleStats>>,
+}
+
+impl GcStats {
+    /// Completed collection cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles.load(Ordering::Relaxed)
+    }
+
+    /// Objects ever allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Objects ever freed.
+    pub fn freed(&self) -> u64 {
+        self.freed.load(Ordering::Relaxed)
+    }
+
+    /// `mark` invocations by write barriers and root marking (Figure 5
+    /// entries — most terminate at the flag fast path).
+    pub fn barrier_checks(&self) -> u64 {
+        self.barrier_checks.load(Ordering::Relaxed)
+    }
+
+    /// Marking CASes won (objects turned grey by this side).
+    pub fn barrier_cas_won(&self) -> u64 {
+        self.barrier_cas_won.load(Ordering::Relaxed)
+    }
+
+    /// Marking CASes lost to a racing marker — the only case where the
+    /// paper's design pays for synchronisation twice.
+    pub fn barrier_cas_lost(&self) -> u64 {
+        self.barrier_cas_lost.load(Ordering::Relaxed)
+    }
+
+    /// Soft-handshake rounds initiated.
+    pub fn handshakes(&self) -> u64 {
+        self.handshakes.load(Ordering::Relaxed)
+    }
+
+    /// Per-cycle records, oldest first.
+    pub fn history(&self) -> Vec<CycleStats> {
+        self.history.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let s = GcStats::default();
+        assert_eq!(s.cycles(), 0);
+        assert_eq!(s.allocated(), 0);
+        assert!(s.history().is_empty());
+    }
+
+    #[test]
+    fn cycle_stats_duration() {
+        let c = CycleStats {
+            duration_ns: 1_500,
+            ..CycleStats::default()
+        };
+        assert_eq!(c.duration(), Duration::from_nanos(1500));
+    }
+}

@@ -1,0 +1,322 @@
+//! Dijkstra's tricolor abstraction, with the paper's refined color
+//! interpretation (§3.2).
+//!
+//! Because marking under TSO is not atomic — the mark may sit in a store
+//! buffer, and the reference reaches a work-list only after the CAS is won —
+//! the paper interprets colors as:
+//!
+//! * **white**: not marked on the (shared) heap;
+//! * **grey**: on some work-list, or recorded in `ghost_honorary_grey`;
+//! * **black**: marked on the heap and *not* grey.
+//!
+//! White and grey overlap during the CAS window; black is disjoint from
+//! both. The callers of [`Tricolor`] supply the grey set (the union of all
+//! work-lists and honorary greys) and the current mark sense `f_M`.
+
+use std::collections::BTreeSet;
+
+use crate::heap::AbstractHeap;
+use crate::refs::Ref;
+
+/// The color of a reference under the refined interpretation.
+///
+/// `WhiteGrey` is the overlap state: unmarked on the heap yet already grey
+/// (honorary or on a work-list) — the window between a mark being issued and
+/// committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Color {
+    /// Unmarked on the heap, not grey.
+    White,
+    /// Marked on the heap, grey (on a work-list awaiting processing).
+    Grey,
+    /// Unmarked on the heap *and* grey: the transient CAS window.
+    WhiteGrey,
+    /// Marked on the heap, not grey: processed (or allocated black).
+    Black,
+}
+
+impl Color {
+    /// Whether the reference counts as white (possibly also grey).
+    pub fn is_white(self) -> bool {
+        matches!(self, Color::White | Color::WhiteGrey)
+    }
+
+    /// Whether the reference counts as grey.
+    pub fn is_grey(self) -> bool {
+        matches!(self, Color::Grey | Color::WhiteGrey)
+    }
+
+    /// Whether the reference is black.
+    pub fn is_black(self) -> bool {
+        matches!(self, Color::Black)
+    }
+}
+
+/// A tricolor view of a heap: the heap, the current mark sense `f_M`, and
+/// the grey set.
+#[derive(Debug, Clone)]
+pub struct Tricolor<'a> {
+    heap: &'a AbstractHeap,
+    f_m: bool,
+    greys: BTreeSet<Ref>,
+}
+
+impl<'a> Tricolor<'a> {
+    /// Creates a tricolor view. `greys` is the union of every work-list and
+    /// every `ghost_honorary_grey`; `f_m` is the current sense of the marks.
+    pub fn new(heap: &'a AbstractHeap, f_m: bool, greys: impl IntoIterator<Item = Ref>) -> Self {
+        Tricolor {
+            heap,
+            f_m,
+            greys: greys.into_iter().collect(),
+        }
+    }
+
+    /// The color of `r`, or `None` if `r` is unallocated.
+    ///
+    /// An unallocated reference that is somehow grey (e.g. freed while on a
+    /// work-list — itself an invariant violation) still reports `None`.
+    pub fn color(&self, r: Ref) -> Option<Color> {
+        let marked = self.heap.flag(r)? == self.f_m;
+        let grey = self.greys.contains(&r);
+        Some(match (marked, grey) {
+            (false, false) => Color::White,
+            (false, true) => Color::WhiteGrey,
+            (true, true) => Color::Grey,
+            (true, false) => Color::Black,
+        })
+    }
+
+    /// Whether `r` is allocated and white.
+    pub fn is_white(&self, r: Ref) -> bool {
+        self.color(r).is_some_and(Color::is_white)
+    }
+
+    /// Whether `r` is grey. (Grey refs should be allocated; an unallocated
+    /// grey still reports `true` here so that invariant checkers can see
+    /// the violation.)
+    pub fn is_grey(&self, r: Ref) -> bool {
+        self.greys.contains(&r)
+    }
+
+    /// Whether `r` is allocated and black.
+    pub fn is_black(&self, r: Ref) -> bool {
+        self.color(r).is_some_and(Color::is_black)
+    }
+
+    /// All allocated white references.
+    pub fn whites(&self) -> BTreeSet<Ref> {
+        self.heap.refs().filter(|&r| self.is_white(r)).collect()
+    }
+
+    /// The grey set.
+    pub fn greys(&self) -> &BTreeSet<Ref> {
+        &self.greys
+    }
+
+    /// All allocated black references.
+    pub fn blacks(&self) -> BTreeSet<Ref> {
+        self.heap.refs().filter(|&r| self.is_black(r)).collect()
+    }
+
+    /// The set of white references that are **grey-protected**: reachable
+    /// from some grey reference via a chain of zero or more white objects
+    /// (`Grey →w* White` in the paper).
+    ///
+    /// Grey objects themselves are not in the result (they are protected by
+    /// being grey); every white object in the result has a witness chain
+    /// whose intermediate nodes are all white.
+    pub fn grey_protected(&self) -> BTreeSet<Ref> {
+        let mut protected: BTreeSet<Ref> = BTreeSet::new();
+        // Frontier: white children of grey objects (chain length 0 means the
+        // white object is a direct child of a grey).
+        let mut frontier: Vec<Ref> = Vec::new();
+        for &g in &self.greys {
+            if let Some(obj) = self.heap.get(g) {
+                for child in obj.children() {
+                    if self.is_white(child) {
+                        frontier.push(child);
+                    }
+                }
+            }
+        }
+        while let Some(w) = frontier.pop() {
+            if !protected.insert(w) {
+                continue;
+            }
+            if let Some(obj) = self.heap.get(w) {
+                for child in obj.children() {
+                    if self.is_white(child) {
+                        frontier.push(child);
+                    }
+                }
+            }
+        }
+        protected
+    }
+
+    /// The **strong tricolor invariant**: there are no pointers from black
+    /// objects to white objects.
+    pub fn strong_invariant(&self) -> bool {
+        self.heap.refs().all(|r| {
+            if !self.is_black(r) {
+                return true;
+            }
+            self.heap
+                .get(r)
+                .map(|o| o.children().all(|c| !self.is_white(c)))
+                .unwrap_or(true)
+        })
+    }
+
+    /// The **weak tricolor invariant**: every white object pointed to by a
+    /// black object is grey-protected.
+    pub fn weak_invariant(&self) -> bool {
+        let protected = self.grey_protected();
+        self.heap.refs().all(|r| {
+            if !self.is_black(r) {
+                return true;
+            }
+            self.heap
+                .get(r)
+                .map(|o| {
+                    o.children()
+                        .filter(|&c| self.is_white(c))
+                        .all(|c| protected.contains(&c) || self.is_grey(c))
+                })
+                .unwrap_or(true)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the Figure 1 heap: B (black) → W (white) ← chain from G
+    /// (grey) through whites c1, c2.
+    fn fig1() -> (AbstractHeap, Ref, Ref, Ref, Ref, Ref) {
+        let mut h = AbstractHeap::new(5, 2);
+        let b = h.alloc(true).unwrap(); // black (marked, not grey)
+        let g = h.alloc(true).unwrap(); // grey (marked + on work-list)
+        let c1 = h.alloc(false).unwrap(); // white chain
+        let c2 = h.alloc(false).unwrap();
+        let w = h.alloc(false).unwrap(); // the contested white object
+        h.set_field(b, 0, Some(w));
+        h.set_field(g, 0, Some(c1));
+        h.set_field(c1, 0, Some(c2));
+        h.set_field(c2, 0, Some(w));
+        (h, b, g, c1, c2, w)
+    }
+
+    #[test]
+    fn color_classification() {
+        let (h, b, g, c1, _, w) = fig1();
+        let t = Tricolor::new(&h, true, [g]);
+        assert_eq!(t.color(b), Some(Color::Black));
+        assert_eq!(t.color(g), Some(Color::Grey));
+        assert_eq!(t.color(c1), Some(Color::White));
+        assert_eq!(t.color(w), Some(Color::White));
+        assert_eq!(t.color(Ref::new(7)), None);
+    }
+
+    #[test]
+    fn white_grey_overlap_during_cas_window() {
+        let mut h = AbstractHeap::new(1, 1);
+        let r = h.alloc(false).unwrap(); // unmarked
+        let t = Tricolor::new(&h, true, [r]); // but honorary grey
+        assert_eq!(t.color(r), Some(Color::WhiteGrey));
+        assert!(t.is_white(r) && t.is_grey(r));
+        assert!(!t.is_black(r));
+    }
+
+    #[test]
+    fn fig1_weak_invariant_holds_with_chain_intact() {
+        let (h, _, g, c1, c2, w) = fig1();
+        let t = Tricolor::new(&h, true, [g]);
+        let protected = t.grey_protected();
+        assert!(protected.contains(&c1));
+        assert!(protected.contains(&c2));
+        assert!(protected.contains(&w));
+        assert!(t.weak_invariant());
+        // ... but the strong invariant fails: B → W with W white.
+        assert!(!t.strong_invariant());
+    }
+
+    #[test]
+    fn fig1_deleting_chain_edge_breaks_weak_invariant() {
+        let (mut h, _, g, c1, _, _) = fig1();
+        // Delete the edge c1 → c2 (one of the X-marked edges of Fig. 1).
+        h.set_field(c1, 0, None);
+        let t = Tricolor::new(&h, true, [g]);
+        assert!(!t.weak_invariant());
+    }
+
+    #[test]
+    fn fig1_deletion_barrier_restores_weak_invariant() {
+        let (mut h, _, g, c1, c2, _) = fig1();
+        // The deletion barrier greys the target of the deleted edge first:
+        h.set_flag(c2, true);
+        h.set_field(c1, 0, None);
+        let t = Tricolor::new(&h, true, [g, c2]);
+        assert!(t.weak_invariant());
+    }
+
+    #[test]
+    fn strong_invariant_implies_weak() {
+        // Black → Grey → White: strong holds (no black→white edge).
+        let mut h = AbstractHeap::new(3, 1);
+        let b = h.alloc(true).unwrap();
+        let g = h.alloc(true).unwrap();
+        let w = h.alloc(false).unwrap();
+        h.set_field(b, 0, Some(g));
+        h.set_field(g, 0, Some(w));
+        let t = Tricolor::new(&h, true, [g]);
+        assert!(t.strong_invariant());
+        assert!(t.weak_invariant());
+    }
+
+    #[test]
+    fn black_pointing_to_directly_grey_child_is_fine() {
+        let mut h = AbstractHeap::new(2, 1);
+        let b = h.alloc(true).unwrap();
+        let g = h.alloc(true).unwrap();
+        h.set_field(b, 0, Some(g));
+        let t = Tricolor::new(&h, true, [g]);
+        assert!(t.strong_invariant());
+        assert!(t.weak_invariant());
+    }
+
+    #[test]
+    fn empty_grey_set_with_whites_violates_weak_if_black_points_white() {
+        let mut h = AbstractHeap::new(2, 1);
+        let b = h.alloc(true).unwrap();
+        let w = h.alloc(false).unwrap();
+        h.set_field(b, 0, Some(w));
+        let t = Tricolor::new(&h, true, std::iter::empty());
+        assert!(!t.weak_invariant());
+        assert!(!t.strong_invariant());
+    }
+
+    #[test]
+    fn mark_sense_inversion_flips_colors() {
+        let mut h = AbstractHeap::new(1, 1);
+        let r = h.alloc(true).unwrap();
+        let t1 = Tricolor::new(&h, true, std::iter::empty());
+        assert!(t1.is_black(r));
+        // Flipping f_M turns the whole heap white (the paper's epoch flip).
+        let t2 = Tricolor::new(&h, false, std::iter::empty());
+        assert!(t2.is_white(r));
+    }
+
+    #[test]
+    fn whites_blacks_partition_with_greys() {
+        let (h, b, g, c1, c2, w) = fig1();
+        let t = Tricolor::new(&h, true, [g]);
+        let whites = t.whites();
+        let blacks = t.blacks();
+        assert_eq!(whites, [c1, c2, w].into_iter().collect());
+        assert_eq!(blacks, [b].into_iter().collect());
+        assert!(whites.is_disjoint(&blacks));
+    }
+}

@@ -1,0 +1,399 @@
+//! Objects and the abstract heap.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::refs::{Field, Ref};
+
+/// An object: a garbage-collection mark flag and a fixed number of reference
+/// fields (`ℛ ∪ {NULL}` each). Non-reference payloads are abstracted away,
+/// exactly as in the paper's §3.1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Object {
+    flag: bool,
+    fields: Vec<Option<Ref>>,
+}
+
+impl Object {
+    /// Creates an object with the given mark flag and all fields `NULL`.
+    pub fn new(flag: bool, field_count: usize) -> Self {
+        Object {
+            flag,
+            fields: vec![None; field_count],
+        }
+    }
+
+    /// The object's mark flag. Whether this means "marked" depends on the
+    /// current sense `f_M`; see [`crate::Tricolor`].
+    pub fn flag(&self) -> bool {
+        self.flag
+    }
+
+    /// Sets the mark flag.
+    pub fn set_flag(&mut self, flag: bool) {
+        self.flag = flag;
+    }
+
+    /// The reference stored in `field`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` is out of range.
+    pub fn field(&self, field: Field) -> Option<Ref> {
+        self.fields[field.index()]
+    }
+
+    /// Stores `value` into `field`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` is out of range.
+    pub fn set_field(&mut self, field: Field, value: Option<Ref>) {
+        self.fields[field.index()] = value;
+    }
+
+    /// Iterates over the non-`NULL` references held in this object's fields.
+    pub fn children(&self) -> impl Iterator<Item = Ref> + '_ {
+        self.fields.iter().filter_map(|f| *f)
+    }
+
+    /// Number of fields.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+/// The abstract heap: a partial map from [`Ref`]s to [`Object`]s.
+///
+/// The domain of the map tracks which references are allocated; `free`
+/// removes an object. Capacity and per-object field count are fixed at
+/// construction so heap states have a canonical shape for hashing.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AbstractHeap {
+    slots: Vec<Option<Object>>,
+    field_count: usize,
+}
+
+impl fmt::Debug for AbstractHeap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(obj) = slot {
+                map.entry(&format!("r{i}"), obj);
+            }
+        }
+        map.finish()
+    }
+}
+
+impl AbstractHeap {
+    /// Creates an empty heap with `capacity` slots and `field_count`
+    /// reference fields per object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` exceeds 256 (references are single bytes).
+    pub fn new(capacity: usize, field_count: usize) -> Self {
+        assert!(capacity <= 256, "heap capacity limited to 256 slots");
+        AbstractHeap {
+            slots: vec![None; capacity],
+            field_count,
+        }
+    }
+
+    /// The number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Fields per object.
+    pub fn field_count(&self) -> usize {
+        self.field_count
+    }
+
+    /// The number of allocated objects.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no objects are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Whether `r` is allocated (an object exists at `r`) — the paper's
+    /// `valid_ref`.
+    pub fn contains(&self, r: Ref) -> bool {
+        self.slots.get(r.index()).is_some_and(|s| s.is_some())
+    }
+
+    /// The object at `r`, if allocated.
+    pub fn get(&self, r: Ref) -> Option<&Object> {
+        self.slots.get(r.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable access to the object at `r`, if allocated.
+    pub fn get_mut(&mut self, r: Ref) -> Option<&mut Object> {
+        self.slots.get_mut(r.index()).and_then(|s| s.as_mut())
+    }
+
+    /// Allocates a fresh object with mark flag `flag` at an arbitrary free
+    /// reference (the lowest, for canonicity), or `None` if the heap is
+    /// full. Mirrors the paper's atomic `Alloc` (Figure 6): create,
+    /// initialize (all fields `NULL`), insert.
+    pub fn alloc(&mut self, flag: bool) -> Option<Ref> {
+        let free = self.slots.iter().position(|s| s.is_none())?;
+        self.slots[free] = Some(Object::new(flag, self.field_count));
+        Some(Ref::new(free as u8))
+    }
+
+    /// Allocates at a specific free slot (used to enumerate *all* allocation
+    /// non-determinism in the model, not just lowest-first).
+    ///
+    /// Returns `false` if `r` was already allocated.
+    pub fn alloc_at(&mut self, r: Ref, flag: bool) -> bool {
+        if self.contains(r) || r.index() >= self.slots.len() {
+            return false;
+        }
+        self.slots[r.index()] = Some(Object::new(flag, self.field_count));
+        true
+    }
+
+    /// Frees the object at `r` (the sweep's `heap ← heap ∖ {ref}`).
+    /// Returns the removed object, or `None` if `r` was not allocated.
+    pub fn free(&mut self, r: Ref) -> Option<Object> {
+        self.slots.get_mut(r.index()).and_then(|s| s.take())
+    }
+
+    /// Iterates over allocated references in ascending order.
+    pub fn refs(&self) -> impl Iterator<Item = Ref> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| Ref::new(i as u8))
+    }
+
+    /// Iterates over free (unallocated) references in ascending order.
+    pub fn free_refs(&self) -> impl Iterator<Item = Ref> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| Ref::new(i as u8))
+    }
+
+    /// The mark flag of the object at `r`, if allocated (the `flag(ref)`
+    /// read in Figure 5).
+    pub fn flag(&self, r: Ref) -> Option<bool> {
+        self.get(r).map(Object::flag)
+    }
+
+    /// Sets the mark flag at `r`. Returns `false` if `r` is unallocated.
+    pub fn set_flag(&mut self, r: Ref, flag: bool) -> bool {
+        match self.get_mut(r) {
+            Some(o) => {
+                o.set_flag(flag);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads `r.field`, or `None` if `r` is unallocated.
+    pub fn field(&self, r: Ref, field: usize) -> Option<Option<Ref>> {
+        self.get(r).map(|o| o.field(Field::new(field as u8)))
+    }
+
+    /// Writes `r.field ← value`. Returns `false` if `r` is unallocated.
+    pub fn set_field(&mut self, r: Ref, field: usize, value: Option<Ref>) -> bool {
+        match self.get_mut(r) {
+            Some(o) => {
+                o.set_field(Field::new(field as u8), value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The set of references reachable from `roots` by following object
+    /// fields through the heap.
+    ///
+    /// A reachable reference need not be allocated: a dangling reference
+    /// discovered in a field is *in* the result (so that
+    /// [`valid_refs`](AbstractHeap::valid_refs) can detect it) but is not
+    /// expanded further (it has no fields). Paths go via the heap only, per
+    /// the paper's §3.2 — callers model TSO-buffered writes by adding the
+    /// buffered references to `roots`.
+    pub fn reachable(&self, roots: impl IntoIterator<Item = Ref>) -> BTreeSet<Ref> {
+        let mut seen: BTreeSet<Ref> = BTreeSet::new();
+        let mut frontier: Vec<Ref> = roots.into_iter().collect();
+        while let Some(r) = frontier.pop() {
+            if !seen.insert(r) {
+                continue;
+            }
+            if let Some(obj) = self.get(r) {
+                frontier.extend(obj.children());
+            }
+        }
+        seen
+    }
+
+    /// The paper's `valid_refs_inv` specialised to this heap: every
+    /// reference reachable from `roots` is allocated.
+    pub fn valid_refs(&self, roots: impl IntoIterator<Item = Ref>) -> bool {
+        self.reachable(roots).iter().all(|&r| self.contains(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Ref {
+        Ref::new(i)
+    }
+
+    #[test]
+    fn alloc_returns_lowest_free_slot() {
+        let mut h = AbstractHeap::new(3, 1);
+        assert_eq!(h.alloc(true), Some(r(0)));
+        assert_eq!(h.alloc(true), Some(r(1)));
+        h.free(r(0));
+        assert_eq!(h.alloc(false), Some(r(0)));
+        assert_eq!(h.alloc(false), Some(r(2)));
+        assert_eq!(h.alloc(false), None); // full
+    }
+
+    #[test]
+    fn alloc_at_respects_occupancy() {
+        let mut h = AbstractHeap::new(2, 1);
+        assert!(h.alloc_at(r(1), true));
+        assert!(!h.alloc_at(r(1), true));
+        assert!(!h.alloc_at(r(5), true)); // out of range
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn fields_read_write() {
+        let mut h = AbstractHeap::new(2, 2);
+        let a = h.alloc(true).unwrap();
+        let b = h.alloc(true).unwrap();
+        assert_eq!(h.field(a, 0), Some(None));
+        assert!(h.set_field(a, 0, Some(b)));
+        assert_eq!(h.field(a, 0), Some(Some(b)));
+        assert!(!h.set_field(r(9), 0, None)); // no such object: u8 index 9 out of range? capacity 2
+    }
+
+    #[test]
+    fn free_clears_slot_and_reports_object() {
+        let mut h = AbstractHeap::new(1, 1);
+        let a = h.alloc(true).unwrap();
+        let obj = h.free(a).unwrap();
+        assert!(obj.flag());
+        assert!(!h.contains(a));
+        assert!(h.free(a).is_none());
+    }
+
+    #[test]
+    fn reachability_follows_chains() {
+        let mut h = AbstractHeap::new(4, 1);
+        let a = h.alloc(true).unwrap();
+        let b = h.alloc(true).unwrap();
+        let c = h.alloc(true).unwrap();
+        let d = h.alloc(true).unwrap();
+        h.set_field(a, 0, Some(b));
+        h.set_field(b, 0, Some(c));
+        let reach = h.reachable([a]);
+        assert!(reach.contains(&a) && reach.contains(&b) && reach.contains(&c));
+        assert!(!reach.contains(&d));
+    }
+
+    #[test]
+    fn reachability_handles_cycles() {
+        let mut h = AbstractHeap::new(2, 1);
+        let a = h.alloc(true).unwrap();
+        let b = h.alloc(true).unwrap();
+        h.set_field(a, 0, Some(b));
+        h.set_field(b, 0, Some(a));
+        let reach = h.reachable([a]);
+        assert_eq!(reach.len(), 2);
+    }
+
+    #[test]
+    fn dangling_refs_are_reachable_but_invalid() {
+        let mut h = AbstractHeap::new(2, 1);
+        let a = h.alloc(true).unwrap();
+        let b = h.alloc(true).unwrap();
+        h.set_field(a, 0, Some(b));
+        h.free(b);
+        let reach = h.reachable([a]);
+        assert!(reach.contains(&b)); // discovered via the dangling field
+        assert!(!h.valid_refs([a])); // ... and detected as invalid
+        assert!(h.valid_refs([]));   // empty roots are trivially valid
+    }
+
+    #[test]
+    fn unallocated_roots_are_invalid() {
+        let h = AbstractHeap::new(2, 1);
+        assert!(!h.valid_refs([r(0)]));
+    }
+
+    #[test]
+    fn debug_output_shows_allocated_slots_only() {
+        let mut h = AbstractHeap::new(2, 1);
+        h.alloc(true);
+        let s = format!("{h:?}");
+        assert!(s.contains("r0"));
+        assert!(!s.contains("r1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "256")]
+    fn oversized_heap_is_rejected() {
+        let _ = AbstractHeap::new(300, 1);
+    }
+
+    #[test]
+    fn object_children_skip_nulls() {
+        let mut o = Object::new(true, 3);
+        o.set_field(crate::refs::Field::new(1), Some(r(4)));
+        let children: Vec<_> = o.children().collect();
+        assert_eq!(children, vec![r(4)]);
+        assert_eq!(o.field_count(), 3);
+    }
+
+    #[test]
+    fn len_and_is_empty_track_domain() {
+        let mut h = AbstractHeap::new(3, 1);
+        assert!(h.is_empty());
+        let a = h.alloc(true).unwrap();
+        assert_eq!(h.len(), 1);
+        h.free(a);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn flag_accessors_on_missing_objects() {
+        let mut h = AbstractHeap::new(2, 1);
+        assert_eq!(h.flag(r(0)), None);
+        assert!(!h.set_flag(r(0), true));
+        assert_eq!(h.field(r(0), 0), None);
+        let a = h.alloc(false).unwrap();
+        assert_eq!(h.flag(a), Some(false));
+        assert!(h.set_flag(a, true));
+        assert_eq!(h.flag(a), Some(true));
+    }
+
+    #[test]
+    fn reachable_with_multiple_roots_unions() {
+        let mut h = AbstractHeap::new(4, 1);
+        let a = h.alloc(true).unwrap();
+        let b = h.alloc(true).unwrap();
+        let c = h.alloc(true).unwrap();
+        h.set_field(b, 0, Some(c));
+        let reach = h.reachable([a, b]);
+        assert_eq!(reach.len(), 3);
+        assert!(!h.reachable([a]).contains(&c));
+    }
+}

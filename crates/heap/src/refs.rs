@@ -1,0 +1,92 @@
+//! Identifier newtypes: references, fields, mutators.
+
+use std::fmt;
+
+/// A heap reference: the abstract address of an object slot.
+///
+/// References are small dense indices (`0..capacity`) so that whole heaps
+/// have a canonical, cheaply-hashable representation inside model-checker
+/// states. The paper fixes an arbitrary non-empty set ℛ of references; a
+/// bounded instance of ℛ is exactly what a bounded model check needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ref(u8);
+
+impl Ref {
+    /// Creates a reference from its slot index.
+    pub fn new(index: u8) -> Self {
+        Ref(index)
+    }
+
+    /// The slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A field offset within an object (`fields(src)` in the paper's Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Field(u8);
+
+impl Field {
+    /// Creates a field from its offset.
+    pub fn new(offset: u8) -> Self {
+        Field(offset)
+    }
+
+    /// The field offset.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A mutator thread identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MutId(u8);
+
+impl MutId {
+    /// Creates a mutator id from its index.
+    pub fn new(index: u8) -> Self {
+        MutId(index)
+    }
+
+    /// The mutator index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MutId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mut{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ref::new(3).to_string(), "r3");
+        assert_eq!(Field::new(1).to_string(), "f1");
+        assert_eq!(MutId::new(0).to_string(), "mut0");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(Ref::new(1) < Ref::new(2));
+        assert_eq!(Ref::new(7).index(), 7);
+    }
+}

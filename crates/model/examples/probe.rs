@@ -1,0 +1,67 @@
+//! Quick exploration probe: `probe <muts> <cap> [max_states] [mode] [suite]`
+//! mode: faithful | nodel | noins | nofence | nocas | prem | sc | skip23
+//! suite: full (default) | safety
+use gc_model::invariants::{combined_property, safety_property};
+use gc_model::{GcModel, ModelConfig};
+use mc::Checker;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let muts: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let cap: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let max: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3_000_000);
+    let mode = args.get(4).map(String::as_str).unwrap_or("faithful");
+    let suite = args.get(5).map(String::as_str).unwrap_or("full");
+    let mut cfg = ModelConfig::small(muts, cap);
+    match mode {
+        "faithful" => {}
+        "nodel" => {
+            // Figure 1 shape: a chain r0 -> r1, head rooted. The hidden
+            // object must pre-exist the cycle (allocation during marking is
+            // black), so it is part of the initial heap.
+            cfg.deletion_barrier = false;
+            cfg.initial = gc_model::InitialHeap::chain(muts, cap.min(2), 1);
+            cfg.ops.alloc = false;
+        }
+        "noins" => cfg.insertion_barrier = false,
+        "nofence" => cfg.handshake_fences = false,
+        "nocas" => cfg.mark_cas = false,
+        "prem" => cfg.premature_alloc_black = true,
+        "sc" => cfg.memory_model = tso_model::MemoryModel::Sc,
+        "skip23" => {
+            cfg.skip_noop2 = true;
+            cfg.skip_noop3 = true;
+        }
+        other => panic!("unknown mode {other}"),
+    }
+    let model = GcModel::new(cfg.clone());
+    let prop = match suite {
+        "full" => combined_property(&cfg),
+        "safety" => safety_property(&cfg),
+        other => panic!("unknown suite {other}"),
+    };
+    let checker = Checker::new()
+        .max_states(max)
+        .hash_compact(true)
+        .property(prop);
+    let t0 = Instant::now();
+    let out = checker.run(&model);
+    let stats = out.stats();
+    println!(
+        "mode={mode} suite={suite} muts={muts} cap={cap}: states={} transitions={} depth={} in {:?}",
+        stats.states, stats.transitions, stats.depth, t0.elapsed()
+    );
+    match &out {
+        mc::Outcome::Verified(_) => println!("VERIFIED"),
+        mc::Outcome::Violated { property, trace, .. } => {
+            println!("VIOLATED: {property} (trace len {})", trace.actions.len());
+            println!("{}", model.format_trace(&trace.actions));
+        }
+        mc::Outcome::BoundReached { bound, .. } => println!("BOUND: {bound}"),
+        mc::Outcome::Deadlock { trace, .. } => {
+            println!("DEADLOCK at len {}", trace.actions.len());
+            println!("{}", model.format_trace(&trace.actions));
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! The paper's invariants (§3.2) as executable predicates, and the
+//! [`mc::Property`] wrappers that let the checker evaluate them in every
+//! reachable state.
+//!
+//! The headline safety property is [`valid_refs_inv`]; everything else is
+//! supporting structure the paper's proof rests on, checked here as
+//! additional invariants of the same exploration.
+
+use mc::Property;
+
+use crate::config::ModelConfig;
+use crate::view::View;
+use crate::vocab::{Addr, HsPhase, HsType, Val};
+use crate::ModelState;
+
+/// **The headline safety property**: every reference reachable from a
+/// mutator root (including §3.2's extra roots: in-flight barrier scratch
+/// and TSO-buffered insertions) has an object on the heap.
+///
+/// `GC ∥ M₁ ∥ … ∥ Sys ⊨ □(∀r. reachable r → valid_ref r)`
+pub fn valid_refs_inv(v: &View) -> bool {
+    v.heap().valid_refs(v.all_roots())
+}
+
+/// The **strong tricolor invariant** on the committed heap: no black
+/// object points to a white object. The insertion barrier plus the
+/// handshake structure maintain this throughout the cycle (§2.1, §3.2).
+pub fn strong_tricolor_inv(v: &View) -> bool {
+    let heap = v.heap();
+    v.tricolor(&heap).strong_invariant()
+}
+
+/// The **weak tricolor invariant**: every white object referenced by a
+/// black object is grey-protected. Implied by the strong invariant; checked
+/// separately because the deletion-barrier ablation breaks it first.
+pub fn weak_tricolor_inv(v: &View) -> bool {
+    let heap = v.heap();
+    v.tricolor(&heap).weak_invariant()
+}
+
+/// `valid_W_inv`: work-list sanity (§3.2).
+///
+/// * Work-lists (collector's `W`, the staged list, every `W_m`) are
+///   pairwise disjoint.
+/// * If a reference is on a work-list or is the honorary grey of thread
+///   `p`, and `p` does not hold the TSO lock, then the object is marked on
+///   the committed heap.
+/// * Any pending flag write uses the current `f_M`.
+/// * Pending flag writes only sit in the buffer of the lock holder.
+pub fn valid_w_inv(v: &View) -> bool {
+    let heap = v.heap();
+    let fm = v.fm();
+    let sys = v.sys();
+    let lock = sys.mem.lock_holder().map(|t| t.index());
+
+    if !gc_types::disjoint(v.work_lists()) {
+        return false;
+    }
+
+    // Honorary greys are disjoint from every work-list.
+    let cfg = v.config();
+    let mut honorary = Vec::new();
+    honorary.push((cfg.gc_tid(), v.gc().ghost_honorary_grey));
+    for m in 0..cfg.mutators {
+        honorary.push((cfg.mut_tid(m), v.mutator(m).ghost_honorary_grey));
+    }
+    for &(_, hg) in &honorary {
+        if let Some(r) = hg {
+            if v.work_lists().iter().any(|w| w.contains(r)) {
+                return false;
+            }
+        }
+    }
+
+    // Marked-on-heap for unlocked owners.
+    let owner_entries = |tid: usize| -> Vec<gc_types::Ref> {
+        let mut refs: Vec<gc_types::Ref> = Vec::new();
+        if tid == cfg.gc_tid() {
+            refs.extend(v.gc().wl.iter());
+            refs.extend(v.gc().ghost_honorary_grey);
+        } else {
+            let m = tid - 1;
+            refs.extend(v.mutator(m).wl.iter());
+            refs.extend(v.mutator(m).ghost_honorary_grey);
+        }
+        refs
+    };
+    for tid in 0..cfg.threads() {
+        if lock == Some(tid) {
+            continue;
+        }
+        for r in owner_entries(tid) {
+            if heap.flag(r) != Some(fm) {
+                return false;
+            }
+        }
+    }
+    // The staged list belongs to no hardware thread; its entries were
+    // published (buffer drained) before transfer, so they must be marked.
+    for r in &sys.w_staged {
+        if heap.flag(r) != Some(fm) {
+            return false;
+        }
+    }
+
+    // Pending flag writes: correct sense, and only under the lock.
+    for tid in 0..cfg.threads() {
+        for (a, val) in sys.mem.buffer(tso_model::ThreadId::new(tid)).iter() {
+            if let Addr::Flag(_) = a {
+                if *val != Val::Bool(fm) {
+                    return false;
+                }
+                if lock != Some(tid) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Every grey reference is allocated (a freed object on a work-list would
+/// be dereferenced by the collector's scan).
+pub fn greys_allocated(v: &View) -> bool {
+    let heap = v.heap();
+    v.greys().iter().all(|&r| heap.contains(r))
+}
+
+/// `marked_insertions(m)`: every reference being written into an object by
+/// a write pending in `m`'s store buffer targets a marked object.
+pub fn marked_insertions(v: &View, m: usize) -> bool {
+    let heap = v.heap();
+    v.insertions(v.config().mut_tid(m))
+        .iter()
+        .all(|&r| v.marked(&heap, r))
+}
+
+/// `marked_deletions(m)`: every reference about to be overwritten by a
+/// write pending in `m`'s store buffer targets a marked object.
+pub fn marked_deletions(v: &View, m: usize) -> bool {
+    let heap = v.heap();
+    v.deletions(v.config().mut_tid(m))
+        .iter()
+        .all(|&r| v.marked(&heap, r))
+}
+
+/// `reachable_snapshot_inv(m)`: every reference reachable from `m`'s
+/// (extended) roots is black or grey-protected — in force from the moment
+/// `m` completes the root-marking handshake ("`m` is black") until the
+/// cycle ends.
+pub fn reachable_snapshot_inv(v: &View, m: usize) -> bool {
+    let heap = v.heap();
+    let tri = v.tricolor(&heap);
+    let protected = tri.grey_protected();
+    heap.reachable(v.mutator_roots(m)).iter().all(|&r| {
+        tri.is_black(r) || tri.is_grey(r) || protected.contains(&r)
+    })
+}
+
+/// `mutator_phase_inv`: the per-mutator barrier obligations, keyed by the
+/// mutator's handshake phase (§3.2):
+///
+/// * `hp_InitMark`: `marked_insertions` holds;
+/// * `hp_IdleMarkSweep`: `marked_insertions ∧ marked_deletions`, and
+///   `reachable_snapshot_inv` once the mutator has marked its roots.
+pub fn mutator_phase_inv(v: &View) -> bool {
+    for m in 0..v.config().mutators {
+        let ms = v.mutator(m);
+        match ms.ghost_hs_phase {
+            HsPhase::Idle | HsPhase::IdleInit => {}
+            HsPhase::InitMark => {
+                if !marked_insertions(v, m) {
+                    return false;
+                }
+            }
+            HsPhase::IdleMarkSweep => {
+                if !marked_insertions(v, m) || !marked_deletions(v, m) {
+                    return false;
+                }
+                if ms.ghost_roots_done && !reachable_snapshot_inv(v, m) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// `sys_phase_inv`: heap-coloring facts keyed by the collector's handshake
+/// phase (§3.2). Like the paper's `hp_InitMark` case, the assertions are
+/// conditioned on the *commit* of the collector's control-variable writes
+/// (the writes sit in its TSO buffer until a fence or the bus forces them
+/// out):
+///
+/// * `hp_Idle`: no greys; if committed `f_A = f_M` the heap is black, else
+///   (the `f_M` flip has committed) the heap is white;
+/// * `hp_IdleInit`: once the `f_M` flip has committed (committed
+///   `f_A ≠ f_M`), no black references; until then the between-cycles
+///   picture still holds (all black, no greys);
+/// * `hp_InitMark`: until the `f_A` write is committed (committed
+///   `f_A ≠ f_M`), no black references.
+pub fn sys_phase_inv(v: &View) -> bool {
+    let sys = v.sys();
+    let heap = v.heap();
+    let tri = v.tricolor(&heap);
+    let fa = sys.committed_fa();
+    let fm = sys.committed_fm();
+    match sys.ghost_gc_phase {
+        HsPhase::Idle => {
+            if !v.greys().is_empty() {
+                return false;
+            }
+            if fa == fm {
+                heap.refs().all(|r| tri.is_black(r))
+            } else {
+                heap.refs().all(|r| tri.is_white(r))
+            }
+        }
+        HsPhase::IdleInit => {
+            if fa == fm {
+                // The f_M flip is still pending in the collector's buffer.
+                v.greys().is_empty() && heap.refs().all(|r| tri.is_black(r))
+            } else {
+                heap.refs().all(|r| !tri.is_black(r))
+            }
+        }
+        HsPhase::InitMark => {
+            if fa != fm {
+                heap.refs().all(|r| !tri.is_black(r))
+            } else {
+                true
+            }
+        }
+        HsPhase::IdleMarkSweep => true,
+    }
+}
+
+/// The handshake phase relation (§3.2 "Handshakes", Figure 3): relative to
+/// the collector's current round, a mutator that has been flagged and has
+/// responded is in the collector's phase; one that has been flagged but
+/// has not yet responded, or has not yet been flagged this round, is still
+/// in the previous phase.
+pub fn handshake_phase_rel(v: &View) -> bool {
+    let sys = v.sys();
+    for m in 0..v.config().mutators {
+        let ms = v.mutator(m);
+        let expect = if sys.ghost_hs_flagged[m] && !sys.hs_pending[m] {
+            sys.ghost_gc_phase
+        } else {
+            sys.ghost_gc_prev_phase
+        };
+        if ms.ghost_hs_phase != expect {
+            return false;
+        }
+        // An unflagged mutator can have no pending bit.
+        if !sys.ghost_hs_flagged[m] && sys.hs_pending[m] {
+            return false;
+        }
+    }
+    true
+}
+
+/// `gc_W_empty_mut_inv` (§3.2 "Termination of Marking"): during a root or
+/// termination handshake round, if some mutator has completed the round,
+/// the collector's work (its `W` plus the staged list) is empty, and that
+/// mutator nonetheless holds grey work, then some mutator that has *not*
+/// yet completed the round holds grey work — so the collector is
+/// guaranteed to hear about it.
+pub fn gc_w_empty_mut_inv(v: &View) -> bool {
+    let sys = v.sys();
+    if !matches!(sys.hs_type, HsType::GetRoots | HsType::GetWork) {
+        return true;
+    }
+    // Round in progress: some mutator is still pending.
+    if !sys.hs_pending.iter().any(|&b| b) {
+        return true;
+    }
+    let collector_has_work = !v.gc().wl.is_empty()
+        || !sys.w_staged.is_empty()
+        || v.gc().ghost_honorary_grey.is_some();
+    if collector_has_work {
+        return true;
+    }
+    let has_grey = |m: usize| {
+        let ms = v.mutator(m);
+        !ms.wl.is_empty() || ms.ghost_honorary_grey.is_some()
+    };
+    for m in 0..v.config().mutators {
+        let completed = sys.ghost_hs_flagged[m] && !sys.hs_pending[m];
+        if completed && has_grey(m) {
+            let witness = (0..v.config().mutators)
+                .any(|m2| sys.hs_pending[m2] && has_grey(m2));
+            if !witness {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Control-variable writes (`f_A`, `f_M`, `phase`) are issued only by the
+/// collector (a coarse TSO invariant of §3.2).
+pub fn ctrl_writes_gc_only(v: &View) -> bool {
+    let cfg = v.config();
+    let sys = v.sys();
+    for m in 0..cfg.mutators {
+        let t = tso_model::ThreadId::new(cfg.mut_tid(m));
+        for (a, _) in sys.mem.buffer(t).iter() {
+            if matches!(a, Addr::FA | Addr::FM | Addr::Phase) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Evaluates the full §3.2 invariant suite on one state, sharing the
+/// expensive derived data (committed heap, tricolor view, grey-protection
+/// closure) across all checks. Returns the name of the first violated
+/// invariant, or `None` if all hold. This is what the experiment drivers
+/// run; the individual predicates above are the readable reference
+/// versions (and are exercised against this one in tests).
+pub fn check_all(v: &View) -> Option<&'static str> {
+    // Cheap structural checks first.
+    if !ctrl_writes_gc_only(v) {
+        return Some("ctrl_writes_gc_only");
+    }
+    if !handshake_phase_rel(v) {
+        return Some("handshake_phase_rel");
+    }
+    if !gc_w_empty_mut_inv(v) {
+        return Some("gc_W_empty_mut_inv");
+    }
+    // Shared heavy artifacts.
+    let heap = v.heap();
+    let tri = v.tricolor(&heap);
+    let fm = v.fm();
+    let sys = v.sys();
+
+    if !v.greys().iter().all(|&r| heap.contains(r)) {
+        return Some("greys_allocated");
+    }
+    if !valid_w_inv(v) {
+        return Some("valid_W_inv");
+    }
+
+    // sys_phase_inv, with the shared tricolor.
+    let fa = sys.committed_fa();
+    let sys_phase_ok = match sys.ghost_gc_phase {
+        HsPhase::Idle => {
+            v.greys().is_empty()
+                && if fa == fm {
+                    heap.refs().all(|r| tri.is_black(r))
+                } else {
+                    heap.refs().all(|r| tri.is_white(r))
+                }
+        }
+        HsPhase::IdleInit => {
+            if fa == fm {
+                v.greys().is_empty() && heap.refs().all(|r| tri.is_black(r))
+            } else {
+                heap.refs().all(|r| !tri.is_black(r))
+            }
+        }
+        HsPhase::InitMark => fa == fm || heap.refs().all(|r| !tri.is_black(r)),
+        HsPhase::IdleMarkSweep => true,
+    };
+    if !sys_phase_ok {
+        return Some("sys_phase_inv");
+    }
+
+    // mutator_phase_inv, sharing the grey-protection closure.
+    let protected = tri.grey_protected();
+    for m in 0..v.config().mutators {
+        let ms = v.mutator(m);
+        match ms.ghost_hs_phase {
+            HsPhase::Idle | HsPhase::IdleInit => {}
+            HsPhase::InitMark => {
+                let tid = v.config().mut_tid(m);
+                if !v.insertions(tid).iter().all(|&r| heap.flag(r) == Some(fm)) {
+                    return Some("mutator_phase_inv (marked_insertions)");
+                }
+            }
+            HsPhase::IdleMarkSweep => {
+                let tid = v.config().mut_tid(m);
+                if !v.insertions(tid).iter().all(|&r| heap.flag(r) == Some(fm)) {
+                    return Some("mutator_phase_inv (marked_insertions)");
+                }
+                if !v.deletions(tid).iter().all(|&r| heap.flag(r) == Some(fm)) {
+                    return Some("mutator_phase_inv (marked_deletions)");
+                }
+                if ms.ghost_roots_done {
+                    let snapshot_ok = heap.reachable(v.mutator_roots(m)).iter().all(|&r| {
+                        tri.is_black(r) || tri.is_grey(r) || protected.contains(&r)
+                    });
+                    if !snapshot_ok {
+                        return Some("reachable_snapshot_inv");
+                    }
+                }
+            }
+        }
+    }
+
+    if !tri.strong_invariant() {
+        return Some("strong_tricolor_inv");
+    }
+    if !tri.weak_invariant() {
+        return Some("weak_tricolor_inv");
+    }
+    if !heap.valid_refs(v.all_roots()) {
+        return Some("valid_refs_inv");
+    }
+    None
+}
+
+fn prop(
+    cfg: &ModelConfig,
+    name: &'static str,
+    f: impl Fn(&View) -> bool + Send + Sync + 'static,
+) -> Property<ModelState> {
+    let cfg = cfg.clone();
+    Property::new(name, move |st: &ModelState| f(&View::new(&cfg, st)))
+}
+
+/// The whole §3.2 suite as a single bundled property — the efficient form
+/// used by the experiment drivers (shared analysis per state; violations
+/// report the individual invariant's name).
+pub fn combined_property(cfg: &ModelConfig) -> Property<ModelState> {
+    let cfg = cfg.clone();
+    Property::labeled("invariants", move |st: &ModelState| {
+        check_all(&View::new(&cfg, st))
+    })
+}
+
+/// The headline safety property as a checkable [`Property`].
+pub fn safety_property(cfg: &ModelConfig) -> Property<ModelState> {
+    prop(cfg, "valid_refs_inv", valid_refs_inv)
+}
+
+/// The full §3.2 invariant suite (including safety), in checking order:
+/// cheap structural facts first, the reachability-based ones last.
+pub fn all_invariants(cfg: &ModelConfig) -> Vec<Property<ModelState>> {
+    vec![
+        prop(cfg, "ctrl_writes_gc_only", ctrl_writes_gc_only),
+        prop(cfg, "valid_W_inv", valid_w_inv),
+        prop(cfg, "greys_allocated", greys_allocated),
+        prop(cfg, "handshake_phase_rel", handshake_phase_rel),
+        prop(cfg, "sys_phase_inv", sys_phase_inv),
+        prop(cfg, "mutator_phase_inv", mutator_phase_inv),
+        prop(cfg, "gc_W_empty_mut_inv", gc_w_empty_mut_inv),
+        prop(cfg, "strong_tricolor_inv", strong_tricolor_inv),
+        prop(cfg, "weak_tricolor_inv", weak_tricolor_inv),
+        prop(cfg, "valid_refs_inv", valid_refs_inv),
+    ]
+}
+
+/// Just the tricolor pair (used by the Figure 1 experiment).
+pub fn tricolor_properties(cfg: &ModelConfig) -> Vec<Property<ModelState>> {
+    vec![
+        prop(cfg, "strong_tricolor_inv", strong_tricolor_inv),
+        prop(cfg, "weak_tricolor_inv", weak_tricolor_inv),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GcModel;
+    use mc::TransitionSystem;
+
+    fn initial_view_holds(f: impl Fn(&View) -> bool) -> bool {
+        let cfg = ModelConfig::small(2, 4);
+        let model = GcModel::new(cfg.clone());
+        let st = &model.initial_states()[0];
+        f(&View::new(&cfg, st))
+    }
+
+    #[test]
+    fn all_invariants_hold_initially() {
+        assert!(initial_view_holds(valid_refs_inv));
+        assert!(initial_view_holds(strong_tricolor_inv));
+        assert!(initial_view_holds(weak_tricolor_inv));
+        assert!(initial_view_holds(valid_w_inv));
+        assert!(initial_view_holds(greys_allocated));
+        assert!(initial_view_holds(mutator_phase_inv));
+        assert!(initial_view_holds(sys_phase_inv));
+        assert!(initial_view_holds(handshake_phase_rel));
+        assert!(initial_view_holds(gc_w_empty_mut_inv));
+        assert!(initial_view_holds(ctrl_writes_gc_only));
+    }
+
+    #[test]
+    fn property_suite_is_complete() {
+        let cfg = ModelConfig::default();
+        let props = all_invariants(&cfg);
+        assert_eq!(props.len(), 10);
+        let names: Vec<_> = props.iter().map(|p| p.name()).collect();
+        assert!(names.contains(&"valid_refs_inv"));
+        assert!(names.contains(&"strong_tricolor_inv"));
+    }
+}

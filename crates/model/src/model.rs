@@ -1,0 +1,162 @@
+//! Assembly of the full model: `GC ∥ M₁ ∥ … ∥ M_n ∥ Sys`, wrapped as an
+//! [`mc::TransitionSystem`] so the explicit-state checker can explore it.
+
+use cimp::{Event, System, SystemState};
+use mc::TransitionSystem;
+
+use crate::config::ModelConfig;
+use crate::gc::gc_program;
+use crate::mutator::{initial_mut_state, mutator_program};
+use crate::state::{GcState, Local};
+use crate::sys::{initial_sys_state, sys_program};
+use crate::vocab::{Req, Resp};
+
+/// The process names in index order: `gc`, `mut0`, …, `sys`.
+pub const GC_PROC: usize = 0;
+
+/// The full collector model for a configuration.
+///
+/// Process indices: `0` is the collector, `1..=n` are the mutators, `n+1`
+/// is the system.
+pub struct GcModel {
+    cfg: ModelConfig,
+    system: System<Local, Req, Resp>,
+}
+
+impl std::fmt::Debug for GcModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GcModel").field("cfg", &self.cfg).finish()
+    }
+}
+
+impl GcModel {
+    /// Builds the model for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`ModelConfig::validate`]).
+    pub fn new(cfg: ModelConfig) -> Self {
+        cfg.validate();
+        let mut procs = Vec::new();
+        procs.push((
+            "gc",
+            gc_program(&cfg),
+            Local::Gc(GcState::initial()),
+        ));
+        for m in 0..cfg.mutators {
+            // Mutator display names; CIMP wants 'static strs, so use a
+            // small fixed table (configs are bounded anyway).
+            const NAMES: [&str; 8] = [
+                "mut0", "mut1", "mut2", "mut3", "mut4", "mut5", "mut6", "mut7",
+            ];
+            procs.push((
+                NAMES[m],
+                mutator_program(&cfg, m),
+                Local::Mut(initial_mut_state(&cfg, m)),
+            ));
+        }
+        procs.push(("sys", sys_program(&cfg), Local::Sys(initial_sys_state(&cfg))));
+        GcModel {
+            system: System::new(procs),
+            cfg,
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// The underlying CIMP system.
+    pub fn system(&self) -> &System<Local, Req, Resp> {
+        &self.system
+    }
+
+    /// The process index of the system process.
+    pub fn sys_proc(&self) -> usize {
+        1 + self.cfg.mutators
+    }
+
+    /// The process index of mutator `m`.
+    pub fn mut_proc(&self, m: usize) -> usize {
+        1 + m
+    }
+
+    /// Renders a counterexample trace in a human-readable, one-event-per-
+    /// line form with process names substituted.
+    pub fn format_trace(&self, actions: &[Event<Req, Resp>]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, ev) in actions.iter().enumerate() {
+            match ev {
+                Event::Tau { proc, label } => {
+                    let _ = writeln!(out, "{i:4}. {:<5} {label}", self.system.name(*proc));
+                }
+                Event::Comm {
+                    sender,
+                    receiver,
+                    send_label,
+                    recv_label: _,
+                    req,
+                    resp,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{i:4}. {:<5} {send_label}  [{req} => {resp:?}]  @{}",
+                        self.system.name(*sender),
+                        self.system.name(*receiver),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+impl TransitionSystem for GcModel {
+    type State = SystemState<Local>;
+    type Action = Event<Req, Resp>;
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        vec![self.system.initial_state()]
+    }
+
+    fn successors(&self, state: &Self::State) -> Vec<(Self::Action, Self::State)> {
+        self.system.successors(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_builds_and_has_initial_state() {
+        let model = GcModel::new(ModelConfig::default());
+        let init = model.initial_states();
+        assert_eq!(init.len(), 1);
+        // gc + 1 mutator + sys.
+        assert_eq!(model.system().len(), 3);
+        assert_eq!(model.sys_proc(), 2);
+    }
+
+    #[test]
+    fn initial_state_has_successors() {
+        let model = GcModel::new(ModelConfig::default());
+        let init = &model.initial_states()[0];
+        let succs = model.successors(init);
+        assert!(
+            !succs.is_empty(),
+            "the model must not deadlock in its initial state"
+        );
+    }
+
+    #[test]
+    fn two_mutator_model_builds() {
+        let model = GcModel::new(ModelConfig::small(2, 3));
+        assert_eq!(model.system().len(), 4);
+        let init = &model.initial_states()[0];
+        assert!(!model.successors(init).is_empty());
+    }
+}

@@ -1,0 +1,388 @@
+//! Local states of the three process roles, and the shared `Local` enum
+//! that CIMP processes carry.
+
+use std::collections::BTreeSet;
+
+use gc_types::{Ref, WorkList};
+use tso_model::Machine;
+
+use crate::vocab::{Addr, HsPhase, HsType, Phase, Val};
+
+/// Scratch registers for an in-flight `mark` operation (Figure 5), shared
+/// between the collector and mutator state shapes so a single sub-program
+/// implements marking for both.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct MarkScratch {
+    /// The reference being marked; `None` when no mark is in flight (a
+    /// `mark(NULL)` is skipped outright). While set, this register is a
+    /// root for reachability purposes (§3.2: the reference loaded by the
+    /// deletion barrier is a root for the duration of the marking).
+    pub target: Option<Ref>,
+    /// The `f_M` value loaded at line 2.
+    pub fm: bool,
+    /// `expected ← not f_M`.
+    pub expected: bool,
+    /// The most recent load of `flag(target)`; `None` if the object was
+    /// unmapped at load time (possible only in unsafe ablations).
+    pub flag: Option<bool>,
+    /// Whether the phase check at line 4 passed.
+    pub phase_ok: bool,
+    /// Whether this thread won the CAS.
+    pub winner: bool,
+}
+
+/// The collector's local state (Figure 2's locals plus scratch).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GcState {
+    /// The collector's exact knowledge of `f_M` (it is the sole writer).
+    pub fm: bool,
+    /// The collector's work-list `W`.
+    pub wl: WorkList,
+    /// Ghost: the reference inside the CAS window (§3.2).
+    pub ghost_honorary_grey: Option<Ref>,
+    /// Scratch for the in-flight `mark`.
+    pub mark: MarkScratch,
+    /// Handshake loop index over mutators.
+    pub hs_idx: u8,
+    /// The grey object currently being scanned (stays in `wl` until
+    /// blackened, per Figure 2 line 30).
+    pub scan_src: Option<Ref>,
+    /// Field index within the scan of `scan_src`.
+    pub scan_fld: u8,
+    /// Sweep: the snapshot of the heap domain still to visit.
+    pub sweep_refs: BTreeSet<Ref>,
+    /// Sweep: the reference currently under test.
+    pub sweep_cur: Option<Ref>,
+    /// Sweep: the loaded flag of `sweep_cur`.
+    pub sweep_flag: Option<bool>,
+}
+
+impl GcState {
+    /// The collector's state at the top of its outer loop, between cycles.
+    pub fn initial() -> Self {
+        GcState {
+            fm: false,
+            wl: WorkList::new(),
+            ghost_honorary_grey: None,
+            mark: MarkScratch::default(),
+            hs_idx: 0,
+            scan_src: None,
+            scan_fld: 0,
+            sweep_refs: BTreeSet::new(),
+            sweep_cur: None,
+            sweep_flag: None,
+        }
+    }
+}
+
+/// A mutator's local state (Figure 6's locals plus scratch).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MutState {
+    /// This mutator's index (hardware thread id is `1 + idx`).
+    pub idx: u8,
+    /// The mutator roots (stack/register references).
+    pub roots: BTreeSet<Ref>,
+    /// The private work-list `W_m`.
+    pub wl: WorkList,
+    /// Ghost: the reference inside the CAS window.
+    pub ghost_honorary_grey: Option<Ref>,
+    /// Ghost: the handshake phase (bottom row of Figure 3).
+    pub ghost_hs_phase: HsPhase,
+    /// Ghost: whether this mutator has completed the root-marking handshake
+    /// in the current cycle (it is "black" from then on).
+    pub ghost_roots_done: bool,
+    /// Scratch for the in-flight `mark`.
+    pub mark: MarkScratch,
+    /// In-flight `Store`: destination (the value being written).
+    pub st_dst: Option<Ref>,
+    /// In-flight `Store`: object written into.
+    pub st_src: Option<Ref>,
+    /// In-flight `Store`: field written.
+    pub st_fld: u8,
+    /// In-flight `Store`: the overwritten (deleted) reference.
+    pub st_deleted: Option<Ref>,
+    /// Whether a `Store` is in flight (so `st_*` are live).
+    pub st_active: bool,
+    /// Handshake: the polled handshake type.
+    pub hs_type: Option<HsType>,
+    /// Handshake: roots still to mark during a get-roots handshake.
+    pub roots_to_mark: BTreeSet<Ref>,
+}
+
+impl MutState {
+    /// Mutator `idx` with the given initial roots, between cycles.
+    pub fn initial(idx: u8, roots: BTreeSet<Ref>) -> Self {
+        MutState {
+            idx,
+            roots,
+            wl: WorkList::new(),
+            ghost_honorary_grey: None,
+            ghost_hs_phase: HsPhase::IdleMarkSweep,
+            ghost_roots_done: false,
+            mark: MarkScratch::default(),
+            st_dst: None,
+            st_src: None,
+            st_fld: 0,
+            st_deleted: None,
+            st_active: false,
+            hs_type: None,
+            roots_to_mark: BTreeSet::new(),
+        }
+    }
+
+    /// The references this mutator contributes as roots beyond `roots`
+    /// itself: in-flight store operands and the in-flight mark target
+    /// (§3.2's extra roots).
+    pub fn scratch_roots(&self) -> impl Iterator<Item = Ref> + '_ {
+        self.mark
+            .target
+            .into_iter()
+            .chain(self.st_dst)
+            .chain(self.st_src)
+            .chain(self.st_deleted)
+            .chain(self.ghost_honorary_grey)
+    }
+}
+
+/// The system process's local state: the TSO machine, the heap domain, the
+/// handshake apparatus and the staged work-list (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SysState {
+    /// The TSO memory shared by collector and mutators.
+    pub mem: Machine<Addr, Val>,
+    /// The heap domain: which references are allocated.
+    pub heap: BTreeSet<Ref>,
+    /// The current handshake type.
+    pub hs_type: HsType,
+    /// Per-mutator pending bits.
+    pub hs_pending: Vec<bool>,
+    /// Per-mutator "flagged this round" bits (ghost; reset at `HsBegin`).
+    pub ghost_hs_flagged: Vec<bool>,
+    /// The staged work-list mutators transfer into.
+    pub w_staged: WorkList,
+    /// Ghost: the handshake phase the collector has initiated up to.
+    pub ghost_gc_phase: HsPhase,
+    /// Ghost: the previous value of `ghost_gc_phase` (for the handshake
+    /// phase relation).
+    pub ghost_gc_prev_phase: HsPhase,
+    /// Ghost: the collector has initiated the root-marking handshake this
+    /// cycle (cleared at the next cycle-start noop).
+    pub ghost_roots_phase: bool,
+}
+
+impl SysState {
+    /// Whether hardware thread `tid` may read memory / commit stores.
+    pub fn not_blocked(&self, tid: usize) -> bool {
+        self.mem.not_blocked(tso_model::ThreadId::new(tid))
+    }
+
+    /// The committed (memory) value of `f_M`; pending collector writes are
+    /// not visible here.
+    pub fn committed_fm(&self) -> bool {
+        self.mem
+            .memory(&Addr::FM)
+            .map(Val::as_bool)
+            .unwrap_or(false)
+    }
+
+    /// The committed value of `f_A`.
+    pub fn committed_fa(&self) -> bool {
+        self.mem
+            .memory(&Addr::FA)
+            .map(Val::as_bool)
+            .unwrap_or(false)
+    }
+
+    /// The committed value of `phase`.
+    pub fn committed_phase(&self) -> Phase {
+        self.mem
+            .memory(&Addr::Phase)
+            .map(Val::as_phase)
+            .unwrap_or(Phase::Idle)
+    }
+}
+
+/// The shared local-state type carried by every CIMP process in the model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Local {
+    /// The collector.
+    Gc(GcState),
+    /// A mutator.
+    Mut(MutState),
+    /// The system (TSO memory + handshakes + allocator).
+    Sys(SysState),
+}
+
+impl Local {
+    /// The hardware-thread id of this process (collector = 0, mutator
+    /// `i` = `1 + i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the system process, which is not a hardware thread.
+    pub fn tid(&self) -> usize {
+        match self {
+            Local::Gc(_) => 0,
+            Local::Mut(m) => 1 + m.idx as usize,
+            Local::Sys(_) => panic!("the system process has no thread id"),
+        }
+    }
+
+    /// The collector state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a collector.
+    pub fn gc(&self) -> &GcState {
+        match self {
+            Local::Gc(g) => g,
+            other => panic!("expected Gc local state, got {other:?}"),
+        }
+    }
+
+    /// Mutable collector state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a collector.
+    pub fn gc_mut(&mut self) -> &mut GcState {
+        match self {
+            Local::Gc(g) => g,
+            _ => panic!("expected Gc local state"),
+        }
+    }
+
+    /// The mutator state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a mutator.
+    pub fn mutator(&self) -> &MutState {
+        match self {
+            Local::Mut(m) => m,
+            other => panic!("expected Mut local state, got {other:?}"),
+        }
+    }
+
+    /// Mutable mutator state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a mutator.
+    pub fn mutator_mut(&mut self) -> &mut MutState {
+        match self {
+            Local::Mut(m) => m,
+            _ => panic!("expected Mut local state"),
+        }
+    }
+
+    /// The system state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not the system.
+    pub fn sys(&self) -> &SysState {
+        match self {
+            Local::Sys(s) => s,
+            other => panic!("expected Sys local state, got {other:?}"),
+        }
+    }
+
+    /// Mutable system state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not the system.
+    pub fn sys_mut(&mut self) -> &mut SysState {
+        match self {
+            Local::Sys(s) => s,
+            _ => panic!("expected Sys local state"),
+        }
+    }
+
+    /// The mark scratch of a collector or mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the system process.
+    pub fn mark(&self) -> &MarkScratch {
+        match self {
+            Local::Gc(g) => &g.mark,
+            Local::Mut(m) => &m.mark,
+            Local::Sys(_) => panic!("the system process does not mark"),
+        }
+    }
+
+    /// Mutable mark scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the system process.
+    pub fn mark_mut(&mut self) -> &mut MarkScratch {
+        match self {
+            Local::Gc(g) => &mut g.mark,
+            Local::Mut(m) => &mut m.mark,
+            Local::Sys(_) => panic!("the system process does not mark"),
+        }
+    }
+
+    /// The work-list of a collector or mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the system process.
+    pub fn wl_mut(&mut self) -> &mut WorkList {
+        match self {
+            Local::Gc(g) => &mut g.wl,
+            Local::Mut(m) => &mut m.wl,
+            Local::Sys(_) => panic!("the system process has no private work-list"),
+        }
+    }
+
+    /// The honorary-grey ghost of a collector or mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the system process.
+    pub fn ghg_mut(&mut self) -> &mut Option<Ref> {
+        match self {
+            Local::Gc(g) => &mut g.ghost_honorary_grey,
+            Local::Mut(m) => &mut m.ghost_honorary_grey,
+            Local::Sys(_) => panic!("the system process has no honorary grey"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_dispatch() {
+        let mut l = Local::Gc(GcState::initial());
+        assert!(!l.gc().fm);
+        l.gc_mut().fm = true;
+        assert!(l.gc().fm);
+        l.mark_mut().winner = true;
+        assert!(l.mark().winner);
+        l.wl_mut().insert(Ref::new(0));
+        assert_eq!(l.gc().wl.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Mut")]
+    fn wrong_accessor_panics() {
+        let l = Local::Gc(GcState::initial());
+        let _ = l.mutator();
+    }
+
+    #[test]
+    fn scratch_roots_collects_inflight_refs() {
+        let mut m = MutState::initial(0, BTreeSet::new());
+        assert_eq!(m.scratch_roots().count(), 0);
+        m.st_dst = Some(Ref::new(1));
+        m.mark.target = Some(Ref::new(2));
+        let roots: BTreeSet<Ref> = m.scratch_roots().collect();
+        assert!(roots.contains(&Ref::new(1)) && roots.contains(&Ref::new(2)));
+    }
+}

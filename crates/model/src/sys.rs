@@ -1,0 +1,347 @@
+//! The system process: the x86-TSO memory (Figure 9), the allocator, and
+//! the handshake apparatus (§3.1).
+//!
+//! The system is a reactive CIMP process: an infinite loop offering one
+//! `Response` per operation (the paper's non-deterministic sum `⊔`), plus a
+//! single internal transition that commits the oldest pending store-buffer
+//! entry of some thread — exactly the shape of the paper's `mem-TSO`.
+
+use gc_types::{Ref, WorkList};
+use tso_model::ThreadId;
+
+use crate::config::ModelConfig;
+use crate::state::{Local, SysState};
+use crate::vocab::{Addr, HsType, Phase, Req, ReqKind, Resp, Val};
+use crate::Prog;
+
+/// Builds the initial system-process state for `cfg`.
+pub fn initial_sys_state(cfg: &ModelConfig) -> SysState {
+    let mut mem = tso_model::Machine::new(cfg.threads(), cfg.memory_model);
+    mem.initialize(Addr::FA, Val::Bool(false));
+    mem.initialize(Addr::FM, Val::Bool(false));
+    mem.initialize(Addr::Phase, Val::Phase(Phase::Idle));
+    let mut heap = std::collections::BTreeSet::new();
+    for (i, fields) in cfg.initial.objects.iter().enumerate() {
+        let r = Ref::new(i as u8);
+        heap.insert(r);
+        // Initial objects are black: flag == f_M == false.
+        mem.initialize(Addr::Flag(r), Val::Bool(false));
+        for (f, target) in fields.iter().enumerate() {
+            mem.initialize(
+                Addr::Field(r, f as u8),
+                Val::Ref(target.map(Ref::new)),
+            );
+        }
+    }
+    SysState {
+        mem,
+        heap,
+        hs_type: HsType::Noop,
+        hs_pending: vec![false; cfg.mutators],
+        ghost_hs_flagged: vec![true; cfg.mutators],
+        w_staged: WorkList::new(),
+        ghost_gc_phase: crate::vocab::HsPhase::IdleMarkSweep,
+        ghost_gc_prev_phase: crate::vocab::HsPhase::IdleMarkSweep,
+        ghost_roots_phase: false,
+    }
+}
+
+/// Builds the system process's CIMP program.
+pub fn sys_program(cfg: &ModelConfig) -> Prog {
+    let mut p = Prog::new();
+    let buffer_cap = cfg.buffer_cap;
+    let heap_capacity = cfg.heap_capacity;
+    let fields = cfg.fields;
+    let fences = cfg.handshake_fences;
+
+    // -- TSO operations (Figure 9) ------------------------------------
+
+    let read = p.response("sys-read", |req: &Req, l: &Local| {
+        let ReqKind::Read(addr) = &req.kind else {
+            return vec![];
+        };
+        let s = l.sys();
+        match s.mem.read(ThreadId::new(req.tid), addr) {
+            Ok(v) => vec![(l.clone(), Resp::Loaded(v))],
+            Err(_) => vec![], // blocked: no rendezvous
+        }
+    });
+
+    let write = p.response("sys-write", move |req: &Req, l: &Local| {
+        let ReqKind::Write(addr, val) = &req.kind else {
+            return vec![];
+        };
+        let s = l.sys();
+        // Finite hardware store buffers: a full buffer delays the store.
+        if s.mem.buffer(ThreadId::new(req.tid)).len() >= buffer_cap {
+            return vec![];
+        }
+        let mut l2 = l.clone();
+        l2.sys_mut()
+            .mem
+            .write(ThreadId::new(req.tid), *addr, *val)
+            .expect("write is always enabled");
+        vec![(l2, Resp::Void)]
+    });
+
+    let mfence = p.response("sys-mfence", |req: &Req, l: &Local| {
+        if req.kind != ReqKind::MFence {
+            return vec![];
+        }
+        if l.sys().mem.can_mfence(ThreadId::new(req.tid)) {
+            vec![(l.clone(), Resp::Void)]
+        } else {
+            vec![]
+        }
+    });
+
+    let lock = p.response("sys-lock", |req: &Req, l: &Local| {
+        if req.kind != ReqKind::Lock {
+            return vec![];
+        }
+        let mut l2 = l.clone();
+        match l2.sys_mut().mem.lock(ThreadId::new(req.tid)) {
+            Ok(()) => vec![(l2, Resp::Void)],
+            Err(_) => vec![],
+        }
+    });
+
+    let unlock = p.response("sys-unlock", |req: &Req, l: &Local| {
+        if req.kind != ReqKind::Unlock {
+            return vec![];
+        }
+        let mut l2 = l.clone();
+        match l2.sys_mut().mem.unlock(ThreadId::new(req.tid)) {
+            Ok(()) => vec![(l2, Resp::Void)],
+            Err(_) => vec![],
+        }
+    });
+
+    // The only internal transition: commit the oldest pending write of an
+    // unblocked thread (`sys-dequeue-write-buffer`).
+    let dequeue = p.local_op("sys-dequeue", |l: &Local| {
+        let s = l.sys();
+        let mut out = Vec::new();
+        for t in s.mem.threads_with_pending() {
+            if s.mem.not_blocked(t) {
+                let mut l2 = l.clone();
+                l2.sys_mut().mem.commit(t).expect("commit enabled");
+                out.push(l2);
+            }
+        }
+        out
+    });
+
+    // -- Allocation and reclamation (§3.1: axiomatised as atomic) ------
+
+    let alloc = p.response("sys-alloc", move |req: &Req, l: &Local| {
+        if req.kind != ReqKind::Alloc {
+            return vec![];
+        }
+        let s = l.sys();
+        if !s.not_blocked(req.tid) {
+            return vec![];
+        }
+        // Lowest free slot (a deterministic refinement of "an arbitrary
+        // free reference"; slot identity is symmetric).
+        let Some(slot) = (0..heap_capacity as u8)
+            .map(Ref::new)
+            .find(|r| !s.heap.contains(r))
+        else {
+            return vec![]; // heap full: allocation blocks
+        };
+        let fa = s.committed_fa();
+        let mut l2 = l.clone();
+        let s2 = l2.sys_mut();
+        s2.heap.insert(slot);
+        s2.mem.initialize(Addr::Flag(slot), Val::Bool(fa));
+        for f in 0..fields as u8 {
+            s2.mem.initialize(Addr::Field(slot, f), Val::Ref(None));
+        }
+        vec![(l2, Resp::Allocated(slot))]
+    });
+
+    let free = p.response("sys-free", move |req: &Req, l: &Local| {
+        let ReqKind::Free(r) = req.kind else {
+            return vec![];
+        };
+        let s = l.sys();
+        if !s.not_blocked(req.tid) || !s.heap.contains(&r) {
+            return vec![];
+        }
+        let mut l2 = l.clone();
+        let s2 = l2.sys_mut();
+        s2.heap.remove(&r);
+        s2.mem.remove(&Addr::Flag(r));
+        for f in 0..fields as u8 {
+            s2.mem.remove(&Addr::Field(r, f));
+        }
+        vec![(l2, Resp::Void)]
+    });
+
+    let snapshot = p.response("sys-heap-snapshot", |req: &Req, l: &Local| {
+        if req.kind != ReqKind::HeapSnapshot {
+            return vec![];
+        }
+        let domain: Vec<Ref> = l.sys().heap.iter().copied().collect();
+        vec![(l.clone(), Resp::Domain(domain))]
+    });
+
+    // -- Handshakes (§3.1) ---------------------------------------------
+
+    let hs_begin = p.response("sys-hs-begin", move |req: &Req, l: &Local| {
+        let ReqKind::HsBegin(ty) = req.kind else {
+            return vec![];
+        };
+        // The collector's store fence when initiating a round (§2.4): the
+        // round does not begin until the collector's control-variable
+        // writes have drained. Dropped by the fence ablation.
+        if fences && !l.sys().mem.buffer(ThreadId::new(req.tid)).is_empty() {
+            return vec![];
+        }
+        let mut l2 = l.clone();
+        let s2 = l2.sys_mut();
+        debug_assert!(
+            s2.hs_pending.iter().all(|b| !b),
+            "handshake rounds never overlap"
+        );
+        s2.hs_type = ty;
+        s2.ghost_gc_prev_phase = s2.ghost_gc_phase;
+        s2.ghost_gc_phase = s2.ghost_gc_phase.step(ty);
+        for f in &mut s2.ghost_hs_flagged {
+            *f = false;
+        }
+        match ty {
+            HsType::GetRoots => s2.ghost_roots_phase = true,
+            HsType::Noop => {
+                if s2.ghost_gc_phase == crate::vocab::HsPhase::Idle {
+                    s2.ghost_roots_phase = false;
+                }
+            }
+            HsType::GetWork => {}
+        }
+        vec![(l2, Resp::Void)]
+    });
+
+    let hs_pend = p.response("sys-hs-pend", |req: &Req, l: &Local| {
+        let ReqKind::HsPend(m) = req.kind else {
+            return vec![];
+        };
+        let mut l2 = l.clone();
+        let s2 = l2.sys_mut();
+        s2.hs_pending[m as usize] = true;
+        s2.ghost_hs_flagged[m as usize] = true;
+        vec![(l2, Resp::Void)]
+    });
+
+    let hs_await = p.response("sys-hs-await", |req: &Req, l: &Local| {
+        if req.kind != ReqKind::HsAwait {
+            return vec![];
+        }
+        if l.sys().hs_pending.iter().any(|b| *b) {
+            return vec![]; // block until all mutators have responded
+        }
+        // Hand the staged work-list to the collector in the same step (the
+        // concluding load fence is vacuous here: the collector has issued
+        // no stores during the round).
+        let mut l2 = l.clone();
+        let s2 = l2.sys_mut();
+        let mut w = WorkList::new();
+        w.absorb(&mut s2.w_staged);
+        vec![(l2, Resp::Work(w))]
+    });
+
+    let hs_poll = p.response("sys-hs-poll", move |req: &Req, l: &Local| {
+        let ReqKind::HsPoll(m) = req.kind else {
+            return vec![];
+        };
+        let s = l.sys();
+        if !s.hs_pending[m as usize] {
+            return vec![]; // no handshake pending for this mutator
+        }
+        // The accepting fence (§2.4): the mutator takes the handshake only
+        // once its own buffer has drained. Dropped by the fence ablation.
+        if fences && !s.mem.buffer(ThreadId::new(req.tid)).is_empty() {
+            return vec![];
+        }
+        vec![(l.clone(), Resp::Handshake(s.hs_type))]
+    });
+
+    let hs_complete = p.response("sys-hs-complete", move |req: &Req, l: &Local| {
+        let ReqKind::HsComplete(m, wl) = &req.kind else {
+            return vec![];
+        };
+        let s = l.sys();
+        if !s.hs_pending[*m as usize] {
+            return vec![];
+        }
+        // The completing store fence: the mutator's buffer must be drained
+        // before it signals completion (§2.4). Dropped by the fence
+        // ablation.
+        if fences && !s.mem.buffer(ThreadId::new(req.tid)).is_empty() {
+            return vec![];
+        }
+        let mut l2 = l.clone();
+        let s2 = l2.sys_mut();
+        let mut wl = wl.clone();
+        s2.w_staged.absorb(&mut wl);
+        s2.hs_pending[*m as usize] = false;
+        vec![(l2, Resp::Void)]
+    });
+
+    let body = p.choose([
+        read, write, mfence, lock, unlock, dequeue, alloc, free, snapshot, hs_begin, hs_pend,
+        hs_await, hs_poll, hs_complete,
+    ]);
+    let entry = p.loop_forever(body);
+    p.set_entry(entry);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    #[test]
+    fn initial_state_matches_config() {
+        let cfg = ModelConfig::small(2, 4);
+        let s = initial_sys_state(&cfg);
+        assert_eq!(s.heap.len(), 2);
+        assert!(!s.committed_fa());
+        assert!(!s.committed_fm());
+        assert_eq!(s.committed_phase(), Phase::Idle);
+        assert_eq!(s.hs_pending, vec![false, false]);
+        assert_eq!(
+            s.mem.memory(&Addr::Flag(Ref::new(0))),
+            Some(&Val::Bool(false))
+        );
+        assert_eq!(
+            s.mem.memory(&Addr::Field(Ref::new(1), 0)),
+            Some(&Val::Ref(None))
+        );
+    }
+
+    #[test]
+    fn initial_chain_is_wired() {
+        let mut cfg = ModelConfig::small(1, 4);
+        cfg.initial = crate::config::InitialHeap::chain(1, 3, 1);
+        cfg.validate();
+        let s = initial_sys_state(&cfg);
+        assert_eq!(
+            s.mem.memory(&Addr::Field(Ref::new(0), 0)),
+            Some(&Val::Ref(Some(Ref::new(1))))
+        );
+        assert_eq!(
+            s.mem.memory(&Addr::Field(Ref::new(2), 0)),
+            Some(&Val::Ref(None))
+        );
+    }
+
+    #[test]
+    fn program_builds() {
+        let cfg = ModelConfig::default();
+        let p = sys_program(&cfg);
+        assert!(p.len() > 10);
+    }
+}

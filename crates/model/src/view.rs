@@ -1,0 +1,234 @@
+//! A read-only view over a global model state, providing the derived
+//! quantities the invariants are stated in terms of: the committed heap,
+//! the grey set, the extended root set, buffered insertions and deletions.
+
+use std::collections::BTreeSet;
+
+use gc_types::{AbstractHeap, Ref, Tricolor, WorkList};
+use tso_model::ThreadId;
+
+use crate::config::ModelConfig;
+use crate::state::{GcState, MutState, SysState};
+use crate::vocab::{Addr, Val};
+use crate::ModelState;
+
+/// A per-state view binding a configuration to a global state.
+#[derive(Debug, Clone, Copy)]
+pub struct View<'a> {
+    cfg: &'a ModelConfig,
+    st: &'a ModelState,
+}
+
+impl<'a> View<'a> {
+    /// Creates a view of `st` under `cfg`.
+    pub fn new(cfg: &'a ModelConfig, st: &'a ModelState) -> Self {
+        View { cfg, st }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ModelConfig {
+        self.cfg
+    }
+
+    /// The collector's local state.
+    pub fn gc(&self) -> &'a GcState {
+        self.st.local(0).gc()
+    }
+
+    /// Mutator `m`'s local state.
+    pub fn mutator(&self, m: usize) -> &'a MutState {
+        self.st.local(1 + m).mutator()
+    }
+
+    /// All mutator states in index order.
+    pub fn mutators(&self) -> impl Iterator<Item = &'a MutState> + '_ {
+        (0..self.cfg.mutators).map(|m| self.mutator(m))
+    }
+
+    /// The system's local state.
+    pub fn sys(&self) -> &'a SysState {
+        self.st.local(1 + self.cfg.mutators).sys()
+    }
+
+    /// The committed (shared-memory) value of `f_M`.
+    pub fn fm(&self) -> bool {
+        self.sys().committed_fm()
+    }
+
+    /// The committed heap: allocated objects with their committed flags and
+    /// fields. Pending buffered writes are *not* part of this view — paths
+    /// go via the heap (§3.2).
+    pub fn heap(&self) -> AbstractHeap {
+        let sys = self.sys();
+        let mut heap = AbstractHeap::new(self.cfg.heap_capacity, self.cfg.fields);
+        for &r in &sys.heap {
+            let flag = sys
+                .mem
+                .memory(&Addr::Flag(r))
+                .map(Val::as_bool)
+                .expect("allocated objects have a flag");
+            assert!(heap.alloc_at(r, flag), "domain matches slots");
+            for f in 0..self.cfg.fields {
+                let v = sys
+                    .mem
+                    .memory(&Addr::Field(r, f as u8))
+                    .map(Val::as_ref_val)
+                    .expect("allocated objects have fields");
+                heap.set_field(r, f, v);
+            }
+        }
+        heap
+    }
+
+    /// The grey set: every work-list (collector, mutators, staged) plus
+    /// every honorary grey (§3.2's color interpretation).
+    pub fn greys(&self) -> BTreeSet<Ref> {
+        let mut greys: BTreeSet<Ref> = BTreeSet::new();
+        let gc = self.gc();
+        greys.extend(gc.wl.iter());
+        greys.extend(gc.ghost_honorary_grey);
+        greys.extend(self.sys().w_staged.iter());
+        for m in self.mutators() {
+            greys.extend(m.wl.iter());
+            greys.extend(m.ghost_honorary_grey);
+        }
+        greys
+    }
+
+    /// All work-lists in the system (collector, staged, each mutator), for
+    /// disjointness checking.
+    pub fn work_lists(&self) -> Vec<&'a WorkList> {
+        let mut lists = vec![&self.gc().wl, &self.sys().w_staged];
+        for m in 0..self.cfg.mutators {
+            lists.push(&self.mutator(m).wl);
+        }
+        lists
+    }
+
+    /// References inserted by writes pending in thread `tid`'s store buffer
+    /// (the paper's *insertions*).
+    pub fn insertions(&self, tid: usize) -> Vec<Ref> {
+        self.sys()
+            .mem
+            .buffer(ThreadId::new(tid))
+            .iter()
+            .filter_map(|(a, v)| match (a, v) {
+                (Addr::Field(..), Val::Ref(Some(r))) => Some(*r),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// References that will be *overwritten* by writes pending in thread
+    /// `tid`'s buffer (the paper's *deletions*): for each pending field
+    /// write, the value the field holds just before that write commits
+    /// (i.e. after all earlier pending writes to the same field).
+    pub fn deletions(&self, tid: usize) -> Vec<Ref> {
+        let sys = self.sys();
+        let mut out = Vec::new();
+        let mut shadow: std::collections::BTreeMap<Addr, Val> = Default::default();
+        for (a, v) in sys.mem.buffer(ThreadId::new(tid)).iter() {
+            if let Addr::Field(..) = a {
+                let current = shadow
+                    .get(a)
+                    .copied()
+                    .or_else(|| sys.mem.memory(a).copied());
+                if let Some(Val::Ref(Some(r))) = current {
+                    out.push(r);
+                }
+                shadow.insert(*a, *v);
+            }
+        }
+        out
+    }
+
+    /// The extended root set of mutator `m`: its declared roots, its
+    /// in-flight operation scratch (§3.2's extra roots), and the references
+    /// in its pending buffered writes.
+    pub fn mutator_roots(&self, m: usize) -> BTreeSet<Ref> {
+        let ms = self.mutator(m);
+        let mut roots: BTreeSet<Ref> = ms.roots.clone();
+        roots.extend(ms.scratch_roots());
+        roots.extend(ms.roots_to_mark.iter());
+        roots.extend(self.insertions(self.cfg.mut_tid(m)));
+        roots
+    }
+
+    /// The union of every mutator's extended roots — the root set of the
+    /// headline safety property.
+    pub fn all_roots(&self) -> BTreeSet<Ref> {
+        let mut roots = BTreeSet::new();
+        for m in 0..self.cfg.mutators {
+            roots.extend(self.mutator_roots(m));
+        }
+        roots
+    }
+
+    /// A tricolor view of the committed heap under the committed `f_M` and
+    /// the current grey set.
+    pub fn tricolor<'h>(&self, heap: &'h AbstractHeap) -> Tricolor<'h> {
+        Tricolor::new(heap, self.fm(), self.greys())
+    }
+
+    /// Whether `r` is marked on the committed heap (flag equals the
+    /// committed `f_M`).
+    pub fn marked(&self, heap: &AbstractHeap, r: Ref) -> bool {
+        heap.flag(r) == Some(self.fm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GcModel;
+    use crate::state::Local;
+    use mc::TransitionSystem;
+
+    #[test]
+    fn initial_view_is_consistent() {
+        let cfg = ModelConfig::small(2, 4);
+        let model = GcModel::new(cfg.clone());
+        let st = &model.initial_states()[0];
+        let v = View::new(&cfg, st);
+
+        assert!(!v.fm());
+        let heap = v.heap();
+        assert_eq!(heap.len(), 2);
+        assert!(v.greys().is_empty());
+        // Initial heap is black: everything marked.
+        for r in heap.refs() {
+            assert!(v.marked(&heap, r));
+        }
+        let roots = v.all_roots();
+        assert_eq!(roots.len(), 2);
+        assert!(heap.valid_refs(roots));
+    }
+
+    #[test]
+    fn insertions_and_deletions_track_buffers() {
+        let cfg = ModelConfig::small(1, 3);
+        let model = GcModel::new(cfg.clone());
+        let mut st = model.initial_states()[0].clone();
+        // Manually enqueue field writes on the mutator's buffer.
+        let sys_idx = 1 + cfg.mutators;
+        let mut locals: Vec<Local> = st.locals().to_vec();
+        let sys = locals[sys_idx].sys_mut();
+        let t = ThreadId::new(cfg.mut_tid(0));
+        let a = Ref::new(0);
+        let b = Ref::new(1);
+        // r0.f0 initially NULL; write b then write NULL.
+        sys.mem
+            .write(t, Addr::Field(a, 0), Val::Ref(Some(b)))
+            .unwrap();
+        sys.mem.write(t, Addr::Field(a, 0), Val::Ref(None)).unwrap();
+        let controls = (0..locals.len()).map(|p| st.control(p).clone()).collect();
+        st = ModelState::from_parts(controls, locals);
+
+        let v = View::new(&cfg, &st);
+        assert_eq!(v.insertions(cfg.mut_tid(0)), vec![b]);
+        // The second write deletes b (the value of the first pending write).
+        assert_eq!(v.deletions(cfg.mut_tid(0)), vec![b]);
+        // Buffered insertions count as roots.
+        assert!(v.all_roots().contains(&b));
+    }
+}

@@ -1,0 +1,100 @@
+//! Structural tests: the generated CIMP programs match the paper's
+//! pseudo-code shape (via the pretty-printer), and the `at` predicate
+//! tracks control through a scripted prefix.
+
+use gc_model::{gc::gc_program, mutator::mutator_program, sys::sys_program, ModelConfig};
+
+#[test]
+fn collector_program_outline_matches_figure_2() {
+    let cfg = ModelConfig::small(2, 3);
+    let p = gc_program(&cfg);
+    let text = cimp::pretty::render_program(&p);
+
+    // The cycle's landmarks appear in Figure 2's order.
+    let landmarks = [
+        "gc-hs-begin",      // idle handshake
+        "gc-flip-fM",       // line 5
+        "gc-phase-init",    // line 8
+        "gc-phase-mark",    // line 11
+        "gc-set-fA",        // line 12
+        "gc-pick-src",      // line 27
+        "gc-load-field",    // line 28
+        "mark-load-fM",     // Figure 5 inlined
+        "gc-blacken",       // line 30
+        "gc-phase-sweep",   // line 37
+        "gc-heap-snapshot", // line 38
+        "gc-free",          // line 44
+        "gc-phase-idle",    // line 46
+    ];
+    let mut pos = 0;
+    for l in landmarks {
+        let found = text[pos..]
+            .find(l)
+            .unwrap_or_else(|| panic!("landmark {l} missing after offset {pos}"));
+        pos += found;
+    }
+    // The whole thing is one infinite loop.
+    assert!(text.starts_with("loop\n"));
+    // Exactly one sweep-free site.
+    assert_eq!(text.matches("gc-free").count(), 1);
+}
+
+#[test]
+fn mutator_program_is_a_loop_of_choices() {
+    let cfg = ModelConfig::default();
+    let p = mutator_program(&cfg, 0);
+    let text = cimp::pretty::render_program(&p);
+    assert!(text.starts_with("loop\n"));
+    assert!(text.contains("choose"));
+    for op in [
+        "mut-load",
+        "mut-store-begin",
+        "mut-alloc",
+        "mut-discard",
+        "mut-hs-poll",
+        "mut-hs-complete",
+    ] {
+        assert!(text.contains(op), "missing op {op}");
+    }
+    // Both barriers inline the mark routine: the fM load appears at least
+    // twice in the store branch (deletion + insertion) plus once in root
+    // marking.
+    assert!(text.matches("mark-load-fM").count() >= 3);
+}
+
+#[test]
+fn barrier_ablations_remove_the_marks() {
+    let mut cfg = ModelConfig::default();
+    cfg.deletion_barrier = false;
+    cfg.insertion_barrier = false;
+    let p = mutator_program(&cfg, 0);
+    let text = cimp::pretty::render_program(&p);
+    // The store branch has no marks left; root marking still has one.
+    assert_eq!(text.matches("mark-load-fM").count(), 1);
+    assert!(text.contains("mut-store-begin-unbarriered"));
+}
+
+#[test]
+fn sys_program_offers_every_response() {
+    let cfg = ModelConfig::default();
+    let p = sys_program(&cfg);
+    let text = cimp::pretty::render_program(&p);
+    for resp in [
+        "sys-read",
+        "sys-write",
+        "sys-mfence",
+        "sys-lock",
+        "sys-unlock",
+        "sys-dequeue",
+        "sys-alloc",
+        "sys-free",
+        "sys-heap-snapshot",
+        "sys-hs-begin",
+        "sys-hs-pend",
+        "sys-hs-await",
+        "sys-hs-poll",
+        "sys-hs-complete",
+    ] {
+        assert!(text.contains(resp), "missing response {resp}");
+    }
+}

@@ -1,0 +1,679 @@
+//! The x86-TSO abstract machine.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a hardware thread in a [`Machine`].
+///
+/// Thread ids are dense indices `0..n` where `n` is the thread count the
+/// machine was created with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(usize);
+
+impl ThreadId {
+    /// Creates a thread id from its index.
+    pub fn new(index: usize) -> Self {
+        ThreadId(index)
+    }
+
+    /// Returns the underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Which consistency model the machine exhibits.
+///
+/// The garbage collector paper verifies against [`MemoryModel::Tso`];
+/// [`MemoryModel::Sc`] is provided for the SC-vs-TSO ablation experiments
+/// (writes take effect immediately, store buffers stay empty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemoryModel {
+    /// Total store order: writes are buffered per thread and committed
+    /// asynchronously in FIFO order.
+    #[default]
+    Tso,
+    /// Sequential consistency: writes are applied to shared memory
+    /// immediately; store buffers are always empty.
+    Sc,
+}
+
+/// Errors returned by [`Machine`] operations whose x86-TSO enabling
+/// condition does not hold.
+///
+/// In an operational exploration (model checking) these are not failures but
+/// "transition not enabled" signals; a scheduler simply does not select the
+/// corresponding step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TsoError {
+    /// The thread is blocked because another thread holds the bus lock.
+    Blocked {
+        /// The blocked thread.
+        thread: ThreadId,
+        /// The lock holder.
+        holder: ThreadId,
+    },
+    /// A `lock` was attempted while the bus lock is already held.
+    LockHeld {
+        /// The current holder.
+        holder: ThreadId,
+    },
+    /// An `unlock` was attempted by a thread that does not hold the lock.
+    NotLockOwner {
+        /// The thread attempting the unlock.
+        thread: ThreadId,
+    },
+    /// An `mfence` or `unlock` was attempted while the thread's store buffer
+    /// still contains pending writes.
+    BufferNotEmpty {
+        /// The thread whose buffer is non-empty.
+        thread: ThreadId,
+        /// Number of pending writes.
+        pending: usize,
+    },
+    /// A `commit` was attempted on an empty store buffer.
+    NoPendingWrites {
+        /// The thread with the empty buffer.
+        thread: ThreadId,
+    },
+    /// A thread id out of range for this machine.
+    UnknownThread {
+        /// The offending id.
+        thread: ThreadId,
+        /// Number of threads in the machine.
+        threads: usize,
+    },
+}
+
+impl fmt::Display for TsoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TsoError::Blocked { thread, holder } => {
+                write!(f, "{thread} is blocked: bus lock held by {holder}")
+            }
+            TsoError::LockHeld { holder } => {
+                write!(f, "bus lock already held by {holder}")
+            }
+            TsoError::NotLockOwner { thread } => {
+                write!(f, "{thread} does not hold the bus lock")
+            }
+            TsoError::BufferNotEmpty { thread, pending } => {
+                write!(f, "store buffer of {thread} has {pending} pending write(s)")
+            }
+            TsoError::NoPendingWrites { thread } => {
+                write!(f, "store buffer of {thread} is empty")
+            }
+            TsoError::UnknownThread { thread, threads } => {
+                write!(f, "{thread} out of range for machine with {threads} thread(s)")
+            }
+        }
+    }
+}
+
+impl Error for TsoError {}
+
+/// A per-thread FIFO store buffer: the sequence of writes issued by the
+/// thread that have not yet reached shared memory, oldest first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct StoreBuffer<A, V> {
+    entries: VecDeque<(A, V)>,
+}
+
+impl<A, V> StoreBuffer<A, V> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        StoreBuffer {
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Number of pending writes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer holds no pending writes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over pending writes, oldest first.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &(A, V)> {
+        self.entries.iter()
+    }
+
+    fn push(&mut self, addr: A, value: V) {
+        self.entries.push_back((addr, value));
+    }
+
+    fn pop(&mut self) -> Option<(A, V)> {
+        self.entries.pop_front()
+    }
+}
+
+impl<A: PartialEq, V> StoreBuffer<A, V> {
+    /// The newest pending value for `addr`, if any — the value a load by the
+    /// owning thread forwards from the buffer.
+    pub fn newest(&self, addr: &A) -> Option<&V> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(a, _)| a == addr)
+            .map(|(_, v)| v)
+    }
+}
+
+/// The x86-TSO abstract machine: shared memory, per-thread store buffers and
+/// the global bus lock.
+///
+/// Addresses `A` must be ordered so that the shared memory has a canonical
+/// representation (`BTreeMap`), which lets whole machine states be hashed and
+/// compared during model checking.
+///
+/// The transition rules follow Sewell et al. exactly:
+///
+/// | step        | enabling condition                          | effect |
+/// |-------------|---------------------------------------------|--------|
+/// | [`read`]    | `not_blocked(t)`                            | newest buffered write to the address, else shared memory |
+/// | [`write`]   | — (always enabled)                          | enqueue on `t`'s buffer (TSO) or apply directly (SC) |
+/// | [`commit`]  | `not_blocked(t)` ∧ buffer non-empty         | dequeue oldest write, apply to memory |
+/// | [`mfence`]  | buffer of `t` empty                         | no-op (the condition *is* the fence) |
+/// | [`lock`]    | bus lock free                               | `t` takes the lock |
+/// | [`unlock`]  | `t` holds the lock ∧ buffer of `t` empty    | release the lock |
+///
+/// where `not_blocked(t)` holds iff the bus lock is free or held by `t`.
+///
+/// [`read`]: Machine::read
+/// [`write`]: Machine::write
+/// [`commit`]: Machine::commit
+/// [`mfence`]: Machine::mfence
+/// [`lock`]: Machine::lock
+/// [`unlock`]: Machine::unlock
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Machine<A, V> {
+    memory: BTreeMap<A, V>,
+    buffers: Vec<StoreBuffer<A, V>>,
+    lock: Option<ThreadId>,
+    model: MemoryModel,
+}
+
+impl<A: Ord + Clone, V: Clone> Machine<A, V> {
+    /// Creates a machine with `threads` hardware threads, empty memory,
+    /// empty store buffers and the bus lock free.
+    pub fn new(threads: usize, model: MemoryModel) -> Self {
+        Machine {
+            memory: BTreeMap::new(),
+            buffers: (0..threads).map(|_| StoreBuffer::new()).collect(),
+            lock: None,
+            model,
+        }
+    }
+
+    /// The number of hardware threads.
+    pub fn threads(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// The consistency model this machine runs under.
+    pub fn model(&self) -> MemoryModel {
+        self.model
+    }
+
+    /// The current bus lock holder, if any.
+    pub fn lock_holder(&self) -> Option<ThreadId> {
+        self.lock
+    }
+
+    /// Whether `thread` may perform memory reads and buffer commits: the bus
+    /// lock is free or held by `thread` itself.
+    pub fn not_blocked(&self, thread: ThreadId) -> bool {
+        self.lock.is_none() || self.lock == Some(thread)
+    }
+
+    /// Direct, un-modelled access to shared memory (no buffer forwarding).
+    ///
+    /// This is the "omniscient" view used by invariant checkers; program
+    /// steps must use [`Machine::read`].
+    pub fn memory(&self, addr: &A) -> Option<&V> {
+        self.memory.get(addr)
+    }
+
+    /// Iterates over the shared memory contents in address order.
+    pub fn memory_iter(&self) -> impl Iterator<Item = (&A, &V)> {
+        self.memory.iter()
+    }
+
+    /// The store buffer of `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn buffer(&self, thread: ThreadId) -> &StoreBuffer<A, V> {
+        &self.buffers[thread.0]
+    }
+
+    /// Threads whose store buffers are non-empty, i.e. that have a `commit`
+    /// step enabled (modulo blocking).
+    pub fn threads_with_pending(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        self.buffers
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, _)| ThreadId(i))
+    }
+
+    /// Sets the initial contents of `addr` directly in shared memory,
+    /// bypassing the store buffers. Intended for test/benchmark setup.
+    pub fn initialize(&mut self, addr: A, value: V) {
+        self.memory.insert(addr, value);
+    }
+
+    /// Removes `addr` from shared memory (used to model freeing a heap
+    /// cell). Pending buffered writes to `addr` are *not* removed: a write
+    /// committed after the removal re-creates the location, exactly as a
+    /// buffered store to freed memory would on hardware. Returns the removed
+    /// value.
+    pub fn remove(&mut self, addr: &A) -> Option<V> {
+        self.memory.remove(addr)
+    }
+
+    fn check_thread(&self, thread: ThreadId) -> Result<(), TsoError> {
+        if thread.0 < self.buffers.len() {
+            Ok(())
+        } else {
+            Err(TsoError::UnknownThread {
+                thread,
+                threads: self.buffers.len(),
+            })
+        }
+    }
+
+    fn check_not_blocked(&self, thread: ThreadId) -> Result<(), TsoError> {
+        match self.lock {
+            Some(holder) if holder != thread => Err(TsoError::Blocked { thread, holder }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Performs a load of `addr` by `thread`.
+    ///
+    /// The newest write to `addr` pending in `thread`'s own store buffer is
+    /// forwarded if present; otherwise shared memory is consulted. Returns
+    /// `None` if the location has never been written (or has been
+    /// [`remove`](Machine::remove)d and not re-written).
+    ///
+    /// # Errors
+    ///
+    /// [`TsoError::Blocked`] if another thread holds the bus lock.
+    pub fn read(&self, thread: ThreadId, addr: &A) -> Result<Option<V>, TsoError> {
+        self.check_thread(thread)?;
+        self.check_not_blocked(thread)?;
+        if let Some(v) = self.buffers[thread.0].newest(addr) {
+            return Ok(Some(v.clone()));
+        }
+        Ok(self.memory.get(addr).cloned())
+    }
+
+    /// Performs a store of `value` to `addr` by `thread`.
+    ///
+    /// Under TSO the write is enqueued on `thread`'s store buffer; it reaches
+    /// shared memory only via a later [`commit`](Machine::commit). Under SC
+    /// it is applied immediately. Enqueuing is permitted even while another
+    /// thread holds the bus lock (the buffer is thread-private).
+    ///
+    /// # Errors
+    ///
+    /// [`TsoError::UnknownThread`] if `thread` is out of range.
+    pub fn write(&mut self, thread: ThreadId, addr: A, value: V) -> Result<(), TsoError> {
+        self.check_thread(thread)?;
+        match self.model {
+            MemoryModel::Tso => self.buffers[thread.0].push(addr, value),
+            MemoryModel::Sc => {
+                self.memory.insert(addr, value);
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits the oldest pending write of `thread` to shared memory and
+    /// returns it. This is the machine's only internal (scheduler-chosen)
+    /// step.
+    ///
+    /// # Errors
+    ///
+    /// [`TsoError::Blocked`] if another thread holds the bus lock, or
+    /// [`TsoError::NoPendingWrites`] if the buffer is empty.
+    pub fn commit(&mut self, thread: ThreadId) -> Result<(A, V), TsoError> {
+        self.check_thread(thread)?;
+        self.check_not_blocked(thread)?;
+        let (addr, value) = self.buffers[thread.0]
+            .pop()
+            .ok_or(TsoError::NoPendingWrites { thread })?;
+        self.memory.insert(addr.clone(), value.clone());
+        Ok((addr, value))
+    }
+
+    /// Commits every pending write of `thread`, oldest first, returning how
+    /// many writes were flushed. A convenience for direct execution; in an
+    /// exploration each [`commit`](Machine::commit) is a separate transition.
+    ///
+    /// # Errors
+    ///
+    /// [`TsoError::Blocked`] if another thread holds the bus lock.
+    pub fn flush(&mut self, thread: ThreadId) -> Result<usize, TsoError> {
+        self.check_thread(thread)?;
+        self.check_not_blocked(thread)?;
+        let mut n = 0;
+        while !self.buffers[thread.0].is_empty() {
+            self.commit(thread)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// An `MFENCE` by `thread`: enabled only when the thread's store buffer
+    /// is empty. The step itself has no effect — waiting for the enabling
+    /// condition is what flushes.
+    ///
+    /// # Errors
+    ///
+    /// [`TsoError::BufferNotEmpty`] if writes are still pending.
+    pub fn mfence(&self, thread: ThreadId) -> Result<(), TsoError> {
+        self.check_thread(thread)?;
+        let pending = self.buffers[thread.0].len();
+        if pending == 0 {
+            Ok(())
+        } else {
+            Err(TsoError::BufferNotEmpty { thread, pending })
+        }
+    }
+
+    /// Whether an `mfence` step by `thread` is currently enabled.
+    pub fn can_mfence(&self, thread: ThreadId) -> bool {
+        self.mfence(thread).is_ok()
+    }
+
+    /// Takes the bus lock for `thread` (the start of a locked instruction).
+    ///
+    /// # Errors
+    ///
+    /// [`TsoError::LockHeld`] if any thread (including `thread`) already
+    /// holds the lock — the model's lock is not re-entrant.
+    pub fn lock(&mut self, thread: ThreadId) -> Result<(), TsoError> {
+        self.check_thread(thread)?;
+        if let Some(holder) = self.lock {
+            return Err(TsoError::LockHeld { holder });
+        }
+        self.lock = Some(thread);
+        Ok(())
+    }
+
+    /// Releases the bus lock (the end of a locked instruction). Enabled only
+    /// when `thread`'s store buffer is empty, which forces the locked
+    /// instruction's writes to be globally visible before it completes.
+    ///
+    /// # Errors
+    ///
+    /// [`TsoError::NotLockOwner`] if `thread` does not hold the lock, or
+    /// [`TsoError::BufferNotEmpty`] if writes are still pending.
+    pub fn unlock(&mut self, thread: ThreadId) -> Result<(), TsoError> {
+        self.check_thread(thread)?;
+        if self.lock != Some(thread) {
+            return Err(TsoError::NotLockOwner { thread });
+        }
+        let pending = self.buffers[thread.0].len();
+        if pending != 0 {
+            return Err(TsoError::BufferNotEmpty { thread, pending });
+        }
+        self.lock = None;
+        Ok(())
+    }
+
+    /// Executes an atomic compare-and-swap as a single composite step:
+    /// lock, flush, read, conditional write, flush, unlock — the
+    /// coarse-grained view of x86 `LOCK CMPXCHG` used for direct execution.
+    /// (The garbage collector *model* performs the fine-grained sub-steps
+    /// individually so that interleavings inside the CAS window are
+    /// explored.)
+    ///
+    /// Returns `true` (the caller "wins") iff the current value equalled
+    /// `expected` and the swap was performed.
+    ///
+    /// # Errors
+    ///
+    /// [`TsoError::LockHeld`] if the bus lock is taken, or
+    /// [`TsoError::Blocked`] if the flush is blocked (impossible once the
+    /// lock is acquired; listed for completeness).
+    pub fn locked_cmpxchg(
+        &mut self,
+        thread: ThreadId,
+        addr: A,
+        expected: &V,
+        new: V,
+    ) -> Result<bool, TsoError>
+    where
+        V: PartialEq,
+    {
+        self.lock(thread)?;
+        self.flush(thread)?;
+        let current = self.read(thread, &addr)?;
+        let won = current.as_ref() == Some(expected);
+        if won {
+            self.write(thread, addr, new)?;
+        }
+        self.flush(thread)?;
+        self.unlock(thread)?;
+        Ok(won)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    fn machine(model: MemoryModel) -> Machine<&'static str, u32> {
+        let mut m = Machine::new(2, model);
+        m.initialize("x", 0);
+        m.initialize("y", 0);
+        m
+    }
+
+    #[test]
+    fn writes_buffer_under_tso() {
+        let mut m = machine(MemoryModel::Tso);
+        m.write(t(0), "x", 1).unwrap();
+        assert_eq!(m.memory(&"x"), Some(&0));
+        assert_eq!(m.buffer(t(0)).len(), 1);
+    }
+
+    #[test]
+    fn writes_apply_immediately_under_sc() {
+        let mut m = machine(MemoryModel::Sc);
+        m.write(t(0), "x", 1).unwrap();
+        assert_eq!(m.memory(&"x"), Some(&1));
+        assert!(m.buffer(t(0)).is_empty());
+    }
+
+    #[test]
+    fn read_forwards_newest_own_store() {
+        let mut m = machine(MemoryModel::Tso);
+        m.write(t(0), "x", 1).unwrap();
+        m.write(t(0), "x", 2).unwrap();
+        assert_eq!(m.read(t(0), &"x").unwrap(), Some(2));
+        // The other thread still sees memory.
+        assert_eq!(m.read(t(1), &"x").unwrap(), Some(0));
+    }
+
+    #[test]
+    fn commit_is_fifo() {
+        let mut m = machine(MemoryModel::Tso);
+        m.write(t(0), "x", 1).unwrap();
+        m.write(t(0), "y", 2).unwrap();
+        assert_eq!(m.commit(t(0)).unwrap(), ("x", 1));
+        assert_eq!(m.memory(&"x"), Some(&1));
+        assert_eq!(m.memory(&"y"), Some(&0));
+        assert_eq!(m.commit(t(0)).unwrap(), ("y", 2));
+        assert_eq!(m.memory(&"y"), Some(&2));
+    }
+
+    #[test]
+    fn commit_empty_buffer_is_disabled() {
+        let mut m = machine(MemoryModel::Tso);
+        assert_eq!(
+            m.commit(t(0)),
+            Err(TsoError::NoPendingWrites { thread: t(0) })
+        );
+    }
+
+    #[test]
+    fn mfence_requires_empty_buffer() {
+        let mut m = machine(MemoryModel::Tso);
+        assert!(m.can_mfence(t(0)));
+        m.write(t(0), "x", 1).unwrap();
+        assert_eq!(
+            m.mfence(t(0)),
+            Err(TsoError::BufferNotEmpty {
+                thread: t(0),
+                pending: 1
+            })
+        );
+        m.commit(t(0)).unwrap();
+        assert!(m.can_mfence(t(0)));
+    }
+
+    #[test]
+    fn lock_blocks_other_reads_and_commits_but_not_writes() {
+        let mut m = machine(MemoryModel::Tso);
+        m.write(t(1), "y", 7).unwrap();
+        m.lock(t(0)).unwrap();
+        assert_eq!(
+            m.read(t(1), &"x"),
+            Err(TsoError::Blocked {
+                thread: t(1),
+                holder: t(0)
+            })
+        );
+        assert_eq!(
+            m.commit(t(1)),
+            Err(TsoError::Blocked {
+                thread: t(1),
+                holder: t(0)
+            })
+        );
+        // Writes still enqueue while blocked.
+        m.write(t(1), "y", 8).unwrap();
+        assert_eq!(m.buffer(t(1)).len(), 2);
+        // The lock holder itself is unimpeded.
+        assert_eq!(m.read(t(0), &"x").unwrap(), Some(0));
+        m.unlock(t(0)).unwrap();
+        assert_eq!(m.read(t(1), &"x").unwrap(), Some(0));
+    }
+
+    #[test]
+    fn lock_is_exclusive_and_unlock_checks_owner() {
+        let mut m = machine(MemoryModel::Tso);
+        m.lock(t(0)).unwrap();
+        assert_eq!(m.lock(t(1)), Err(TsoError::LockHeld { holder: t(0) }));
+        assert_eq!(m.unlock(t(1)), Err(TsoError::NotLockOwner { thread: t(1) }));
+        m.unlock(t(0)).unwrap();
+        assert_eq!(m.lock_holder(), None);
+    }
+
+    #[test]
+    fn unlock_requires_drained_buffer() {
+        let mut m = machine(MemoryModel::Tso);
+        m.lock(t(0)).unwrap();
+        m.write(t(0), "x", 1).unwrap();
+        assert_eq!(
+            m.unlock(t(0)),
+            Err(TsoError::BufferNotEmpty {
+                thread: t(0),
+                pending: 1
+            })
+        );
+        m.flush(t(0)).unwrap();
+        m.unlock(t(0)).unwrap();
+    }
+
+    #[test]
+    fn cmpxchg_succeeds_once_per_value() {
+        let mut m = machine(MemoryModel::Tso);
+        assert!(m.locked_cmpxchg(t(0), "x", &0, 1).unwrap());
+        // Second CAS with the stale expectation fails...
+        assert!(!m.locked_cmpxchg(t(1), "x", &0, 2).unwrap());
+        // ...and the failed CAS did not write.
+        assert_eq!(m.memory(&"x"), Some(&1));
+        // The lock is free afterwards either way.
+        assert_eq!(m.lock_holder(), None);
+    }
+
+    #[test]
+    fn cmpxchg_flushes_pending_writes_first() {
+        let mut m = machine(MemoryModel::Tso);
+        m.write(t(0), "y", 9).unwrap();
+        assert!(m.locked_cmpxchg(t(0), "x", &0, 1).unwrap());
+        // The unrelated pending write was forced to memory by the lock.
+        assert_eq!(m.memory(&"y"), Some(&9));
+        assert!(m.buffer(t(0)).is_empty());
+    }
+
+    #[test]
+    fn remove_leaves_buffered_writes() {
+        let mut m = machine(MemoryModel::Tso);
+        m.write(t(0), "x", 5).unwrap();
+        assert_eq!(m.remove(&"x"), Some(0));
+        assert_eq!(m.memory(&"x"), None);
+        // The stale buffered store re-creates the location when it commits —
+        // exactly the hazard the collector's sweep must be safe against.
+        m.commit(t(0)).unwrap();
+        assert_eq!(m.memory(&"x"), Some(&5));
+    }
+
+    #[test]
+    fn threads_with_pending_reports_nonempty_buffers() {
+        let mut m = machine(MemoryModel::Tso);
+        m.write(t(1), "y", 1).unwrap();
+        let pend: Vec<_> = m.threads_with_pending().collect();
+        assert_eq!(pend, vec![t(1)]);
+    }
+
+    #[test]
+    fn unknown_thread_is_rejected() {
+        let m = machine(MemoryModel::Tso);
+        assert_eq!(
+            m.read(t(9), &"x"),
+            Err(TsoError::UnknownThread {
+                thread: t(9),
+                threads: 2
+            })
+        );
+    }
+
+    #[test]
+    fn machine_states_hash_and_compare() {
+        use std::collections::HashSet;
+        let mut a = machine(MemoryModel::Tso);
+        let b = a.clone();
+        assert_eq!(a, b);
+        a.write(t(0), "x", 1).unwrap();
+        assert_ne!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        set.insert(b);
+        assert_eq!(set.len(), 2);
+        set.insert(a);
+        assert_eq!(set.len(), 2);
+    }
+}

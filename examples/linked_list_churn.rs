@@ -1,0 +1,126 @@
+//! Multi-threaded stress scenario: several mutators churn a shared linked
+//! structure while the collector runs on-the-fly — the workload shape the
+//! paper's introduction motivates (non-blocking collection under real
+//! application mutation).
+//!
+//! Each mutator repeatedly: allocates nodes, links them into its own list
+//! hanging off a shared anchor object, truncates its list (creating
+//! garbage), and answers handshakes. Validation mode catches any
+//! freed-while-reachable object instantly, so a clean run *is* the safety
+//! argument at runtime scale.
+//!
+//! Run with: `cargo run --release --example linked_list_churn`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use relaxing_safely::gc::{Collector, GcConfig};
+
+const MUTATORS: usize = 4;
+const OPS_PER_MUTATOR: usize = 20_000;
+
+fn main() {
+    let collector = Collector::new(GcConfig::new(8192, 2));
+
+    // Mutator 0 builds the shared anchor: one field per mutator... we use
+    // a small chain of 2-field anchors instead (field 0 = next anchor,
+    // field 1 = that mutator's list head).
+    let mut m0 = collector.register_mutator();
+    let anchor0 = m0.alloc(2).expect("room");
+    let mut anchors = vec![anchor0];
+    for _ in 1..MUTATORS {
+        let a = m0.alloc(2).expect("room");
+        let prev = *anchors.last().unwrap();
+        m0.store(prev, 0, Some(a));
+        anchors.push(a);
+    }
+
+    let finished = AtomicUsize::new(0);
+    collector.start();
+
+    std::thread::scope(|s| {
+        for (i, &anchor) in anchors.iter().enumerate() {
+            let mut m = collector.register_mutator();
+            // Hand the anchor across threads; m0 keeps the chain rooted.
+            m.adopt(anchor);
+            let finished = &finished;
+            s.spawn(move || {
+                let mut len = 0usize;
+                for op in 0..OPS_PER_MUTATOR {
+                    m.safepoint();
+                    // Push a node onto my list with ~2/3 probability
+                    // (deterministic pattern; no RNG needed).
+                    if op % 3 != 0 {
+                        match m.alloc(2) {
+                            Ok(node) => {
+                                let old_head = m.load(anchor, 1);
+                                m.store(node, 0, old_head);
+                                m.store(anchor, 1, Some(node));
+                                if let Some(h) = old_head {
+                                    m.discard(h);
+                                }
+                                m.discard(node);
+                                len += 1;
+                            }
+                            Err(_) => {
+                                // Heap full: let the collector catch up.
+                                m.safepoint();
+                                std::thread::yield_now();
+                            }
+                        }
+                    } else if len > 4 {
+                        // Truncate: drop everything past the 2nd node.
+                        if let Some(h) = m.load(anchor, 1) {
+                            if let Some(h2) = m.load(h, 0) {
+                                m.store(h2, 0, None); // garbage beyond here
+                                m.discard(h2);
+                                len = 2;
+                            }
+                            m.discard(h);
+                        }
+                    }
+                    // Periodically walk my list to validate reachability.
+                    if op % 512 == 0 {
+                        let mut cur = m.load(anchor, 1);
+                        let mut walked = 0;
+                        while let Some(c) = cur {
+                            let next = m.load(c, 0);
+                            m.discard(c);
+                            cur = next;
+                            walked += 1;
+                            if walked > len + 8 {
+                                break; // safety margin against live edits
+                            }
+                        }
+                    }
+                }
+                println!("mutator {i}: done ({OPS_PER_MUTATOR} ops)");
+                finished.fetch_add(1, Ordering::Release);
+            });
+        }
+
+        // m0 answers handshakes until every worker is done, keeping the
+        // anchor chain rooted throughout.
+        let finished = &finished;
+        s.spawn(move || {
+            while finished.load(Ordering::Acquire) < MUTATORS {
+                m0.safepoint();
+                std::thread::yield_now();
+            }
+            drop(m0);
+        });
+    });
+
+    collector.stop();
+    let stats = collector.stats();
+    println!(
+        "cycles: {}, allocated: {}, freed: {}, live: {}, barrier checks: {}, CAS won/lost: {}/{}",
+        stats.cycles(),
+        stats.allocated(),
+        stats.freed(),
+        collector.live_objects(),
+        stats.barrier_checks(),
+        stats.barrier_cas_won(),
+        stats.barrier_cas_lost(),
+    );
+    println!("no use-after-free observed: the runtime safety oracle stayed quiet");
+}

@@ -1,0 +1,27 @@
+//! # Relaxing Safely — reproduction workspace
+//!
+//! A Rust reproduction of *Relaxing Safely: Verified On-the-Fly Garbage
+//! Collection for x86-TSO* (Gammie, Hosking & Engelhardt, PLDI 2015).
+//!
+//! This root crate re-exports the workspace's public API so that examples
+//! and downstream users can depend on a single crate:
+//!
+//! * [`tso`] — the operational x86-TSO memory model (paper Fig. 9 substrate).
+//! * [`cimp`] — the CIMP modelling language and its semantics (Figs. 7, 8).
+//! * [`types`] — heap vocabulary: references, objects, reachability,
+//!   tricolor abstraction, work-lists.
+//! * [`model`] — the collector ∥ mutators ∥ system model and the paper's
+//!   invariants as executable predicates (Figs. 2–6, 9, 10; §3.2).
+//! * [`mc`] — the explicit-state model checker used to re-establish the
+//!   headline safety theorem on bounded configurations.
+//! * [`gc`] — the executable on-the-fly mark-sweep collector runtime.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the per-figure reproduction record.
+
+pub use cimp;
+pub use gc_model as model;
+pub use gc_types as types;
+pub use mc;
+pub use otf_gc as gc;
+pub use tso_model as tso;

@@ -1,0 +1,172 @@
+//! Integration tests: the model checker re-establishes the paper's results
+//! end to end — the faithful configurations verify, every ablation fails
+//! in the predicted way.
+//!
+//! Instances here are trimmed so the whole file runs in seconds; the
+//! experiment binaries in `gc-bench` run the full-size versions recorded
+//! in EXPERIMENTS.md.
+
+use relaxing_safely::mc::{Checker, Outcome};
+use relaxing_safely::model::invariants::{combined_property, safety_property};
+use relaxing_safely::model::{GcModel, InitialHeap, ModelConfig};
+
+fn run_full(cfg: &ModelConfig, max_states: usize) -> Outcome<GcModel> {
+    Checker::new()
+        .max_states(max_states)
+        .hash_compact(true)
+        .property(combined_property(cfg))
+        .run(&GcModel::new(cfg.clone()))
+}
+
+fn run_safety(cfg: &ModelConfig, max_states: usize) -> Outcome<GcModel> {
+    Checker::new()
+        .max_states(max_states)
+        .hash_compact(true)
+        .property(safety_property(cfg))
+        .run(&GcModel::new(cfg.clone()))
+}
+
+/// A trimmed faithful instance explores completely and satisfies the full
+/// §3.2 suite (store + discard exercises both barriers and the handshake
+/// raggedness).
+#[test]
+fn faithful_trimmed_instance_verifies() {
+    let mut cfg = ModelConfig::small(1, 2);
+    cfg.ops.alloc = false;
+    cfg.ops.load = false;
+    let out = run_full(&cfg, 2_000_000);
+    assert!(out.is_verified(), "got {:?}", out.stats());
+    // The store+discard instance is small but non-trivial (≈8.1k states:
+    // full barrier machinery, handshakes and TSO buffers all exercised).
+    assert!(out.stats().states > 5_000, "the instance must be non-trivial");
+}
+
+/// Sequential consistency: the same instance verifies with a much smaller
+/// state space (the TSO buffers are the state multiplier).
+#[test]
+fn sc_instance_verifies_smaller() {
+    let mut cfg = ModelConfig::small(1, 2);
+    cfg.ops.alloc = false;
+    cfg.ops.load = false;
+    let tso_states = run_full(&cfg, 2_000_000).stats().states;
+    cfg.memory_model = relaxing_safely::tso::MemoryModel::Sc;
+    let out = run_full(&cfg, 2_000_000);
+    assert!(out.is_verified());
+    assert!(
+        out.stats().states < tso_states,
+        "SC ({}) must be smaller than TSO ({})",
+        out.stats().states,
+        tso_states
+    );
+}
+
+/// Removing the insertion barrier breaks the on-the-fly snapshot (§2).
+#[test]
+fn no_insertion_barrier_is_unsound() {
+    let mut cfg = ModelConfig::small(1, 3);
+    cfg.insertion_barrier = false;
+    let out = run_full(&cfg, 3_000_000);
+    assert!(out.is_violated(), "got {:?}", out.stats());
+}
+
+/// Removing the deletion barrier loses the Figure 1 chain.
+#[test]
+fn no_deletion_barrier_is_unsound() {
+    let mut cfg = ModelConfig::small(1, 3);
+    cfg.deletion_barrier = false;
+    cfg.initial = InitialHeap::chain(1, 2, 1);
+    cfg.ops.alloc = false;
+    let out = run_full(&cfg, 1_000_000);
+    assert!(out.is_violated(), "got {:?}", out.stats());
+    // The first broken invariant is the deletion-barrier obligation.
+    assert_eq!(
+        out.violated_property(),
+        Some("mutator_phase_inv (marked_deletions)")
+    );
+}
+
+/// Setting `f_A := f_M` before the barriers are known to be installed
+/// (§3.2 hp_InitMark's warning) breaks the phase invariants.
+#[test]
+fn premature_black_allocation_is_unsound() {
+    let mut cfg = ModelConfig::small(1, 3);
+    cfg.premature_alloc_black = true;
+    let out = run_full(&cfg, 500_000);
+    assert!(out.is_violated());
+}
+
+/// An unsynchronised (non-CAS) mark lets two racers both win, breaking
+/// work-list disjointness (`valid_W_inv`).
+#[test]
+fn racy_mark_breaks_valid_w() {
+    let mut cfg = ModelConfig::small(1, 3);
+    cfg.mark_cas = false;
+    let out = run_full(&cfg, 500_000);
+    assert!(out.is_violated());
+    assert_eq!(out.violated_property(), Some("valid_W_inv"));
+}
+
+/// Without the handshake fences, TSO breaks *safety* itself: the
+/// uncommitted `f_A` write lets a post-snapshot allocation come out white
+/// and be swept while rooted.
+#[test]
+fn missing_fences_break_safety_on_tso() {
+    let mut cfg = ModelConfig::small(1, 2);
+    cfg.handshake_fences = false;
+    let out = run_safety(&cfg, 2_000_000);
+    assert!(out.is_violated());
+    assert_eq!(out.violated_property(), Some("valid_refs_inv"));
+}
+
+/// ... and the identical fence-free protocol is safe under SC.
+#[test]
+fn missing_fences_are_fine_under_sc() {
+    let mut cfg = ModelConfig::small(1, 2);
+    cfg.handshake_fences = false;
+    cfg.memory_model = relaxing_safely::tso::MemoryModel::Sc;
+    let out = run_safety(&cfg, 4_000_000);
+    assert!(out.is_verified(), "got {:?}", out.stats());
+}
+
+/// §4's observation: the two initialization noop handshakes are redundant
+/// on x86-TSO — bounded evidence (trimmed instance, safety property).
+#[test]
+fn skipping_init_noops_preserves_safety() {
+    let mut cfg = ModelConfig::small(1, 2);
+    cfg.skip_noop2 = true;
+    cfg.skip_noop3 = true;
+    cfg.ops.load = false;
+    let out = run_safety(&cfg, 6_000_000);
+    assert!(out.is_verified(), "got {:?}", out.stats());
+}
+
+/// Counterexample traces replay: the reported action sequence must be an
+/// actual path of the model ending in a state violating the reported
+/// property.
+#[test]
+fn counterexample_traces_replay() {
+    use relaxing_safely::mc::TransitionSystem;
+
+    let mut cfg = ModelConfig::small(1, 3);
+    cfg.insertion_barrier = false;
+    let model = GcModel::new(cfg.clone());
+    let out = Checker::new()
+        .max_states(3_000_000)
+        .hash_compact(true)
+        .property(combined_property(&cfg))
+        .run(&model);
+    let trace = out.trace().expect("violation expected");
+
+    let mut state = model.initial_states().remove(0);
+    for action in &trace.actions {
+        let succs = model.successors(&state);
+        let (_, next) = succs
+            .into_iter()
+            .find(|(a, _)| a == action)
+            .expect("every trace action is enabled in order");
+        state = next;
+    }
+    assert_eq!(&state, &trace.state, "trace must land on the reported state");
+    let prop = combined_property(&cfg);
+    assert!(!prop.holds(&state));
+}

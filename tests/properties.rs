@@ -1,0 +1,265 @@
+//! Property-based tests (proptest) over the substrates and the runtime.
+
+use proptest::prelude::*;
+use relaxing_safely::gc::{Collector, GcConfig};
+use relaxing_safely::tso::{Machine, MemoryModel, ThreadId};
+use relaxing_safely::types::{AbstractHeap, Ref, Tricolor};
+
+// ---------------------------------------------------------------------
+// TSO machine laws
+// ---------------------------------------------------------------------
+
+/// A scripted machine operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write(u8, u8, u8), // thread, addr, value
+    Commit(u8),
+    Read(u8, u8),
+    Fence(u8),
+}
+
+fn op_strategy(threads: u8, addrs: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..threads, 0..addrs, any::<u8>()).prop_map(|(t, a, v)| Op::Write(t, a, v)),
+        (0..threads).prop_map(Op::Commit),
+        (0..threads, 0..addrs).prop_map(|(t, a)| Op::Read(t, a)),
+        (0..threads).prop_map(Op::Fence),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reads by the issuing thread always see its own newest pending write
+    /// (store-buffer forwarding), whatever else happened.
+    #[test]
+    fn tso_reads_forward_own_newest_write(ops in proptest::collection::vec(op_strategy(3, 4), 1..60)) {
+        let mut m: Machine<u8, u8> = Machine::new(3, MemoryModel::Tso);
+        for a in 0..4 {
+            m.initialize(a, 0);
+        }
+        // Shadow: per (thread, addr) the newest pending value; and the
+        // committed memory.
+        let mut pending: std::collections::HashMap<(u8, u8), u8> = Default::default();
+        let mut queue: Vec<(u8, u8, u8)> = Vec::new(); // FIFO of (t, a, v)
+        let mut memory: std::collections::HashMap<u8, u8> = (0..4).map(|a| (a, 0)).collect();
+        for op in ops {
+            match op {
+                Op::Write(t, a, v) => {
+                    m.write(ThreadId::new(t as usize), a, v).unwrap();
+                    pending.insert((t, a), v);
+                    queue.push((t, a, v));
+                }
+                Op::Commit(t) => {
+                    let pos = queue.iter().position(|&(qt, _, _)| qt == t);
+                    match m.commit(ThreadId::new(t as usize)) {
+                        Ok((a, v)) => {
+                            let (qt, qa, qv) = queue.remove(pos.unwrap());
+                            prop_assert_eq!((qt, qa, qv), (t, a, v), "FIFO order");
+                            memory.insert(a, v);
+                            // Is this still the newest pending for (t, a)?
+                            if !queue.iter().any(|&(qt2, qa2, _)| qt2 == t && qa2 == a) {
+                                pending.remove(&(t, a));
+                            }
+                        }
+                        Err(_) => prop_assert!(pos.is_none(), "commit only fails on empty buffer"),
+                    }
+                }
+                Op::Read(t, a) => {
+                    let got = m.read(ThreadId::new(t as usize), &a).unwrap();
+                    let want = pending
+                        .get(&(t, a))
+                        .copied()
+                        .or_else(|| memory.get(&a).copied());
+                    prop_assert_eq!(got, want);
+                }
+                Op::Fence(t) => {
+                    let ok = m.mfence(ThreadId::new(t as usize)).is_ok();
+                    let empty = !queue.iter().any(|&(qt, _, _)| qt == t);
+                    prop_assert_eq!(ok, empty, "fence enabled iff buffer empty");
+                }
+            }
+        }
+    }
+
+    /// Under SC the machine behaves like a plain map: every read sees the
+    /// latest write, buffers stay empty.
+    #[test]
+    fn sc_machine_is_a_plain_map(ops in proptest::collection::vec(op_strategy(2, 4), 1..40)) {
+        let mut m: Machine<u8, u8> = Machine::new(2, MemoryModel::Sc);
+        let mut shadow: std::collections::HashMap<u8, u8> = Default::default();
+        for op in ops {
+            match op {
+                Op::Write(t, a, v) => {
+                    m.write(ThreadId::new(t as usize), a, v).unwrap();
+                    shadow.insert(a, v);
+                }
+                Op::Read(t, a) => {
+                    prop_assert_eq!(m.read(ThreadId::new(t as usize), &a).unwrap(), shadow.get(&a).copied());
+                }
+                Op::Fence(t) => prop_assert!(m.can_mfence(ThreadId::new(t as usize))),
+                Op::Commit(_) => {} // never enabled under SC
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Heap / tricolor laws
+// ---------------------------------------------------------------------
+
+fn arb_heap() -> impl Strategy<Value = AbstractHeap> {
+    // Up to 8 objects, 2 fields, random flags and edges.
+    (1usize..8, proptest::collection::vec((any::<bool>(), 0u8..8, 0u8..8), 0..16)).prop_map(
+        |(n, edits)| {
+            let mut h = AbstractHeap::new(8, 2);
+            for _ in 0..n {
+                h.alloc(false);
+            }
+            for (flag, src, dst) in edits {
+                let src = Ref::new(src % n as u8);
+                let dst = Ref::new(dst % n as u8);
+                h.set_flag(src, flag);
+                h.set_field(src, (dst.index() % 2) as usize, Some(dst));
+            }
+            h
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Reachability is monotone in the root set and closed under edges.
+    #[test]
+    fn reachability_laws(h in arb_heap(), r1 in 0u8..8, r2 in 0u8..8) {
+        let a = Ref::new(r1 % h.capacity() as u8);
+        let b = Ref::new(r2 % h.capacity() as u8);
+        let from_a = h.reachable([a]);
+        let from_ab = h.reachable([a, b]);
+        prop_assert!(from_a.is_subset(&from_ab), "monotone in roots");
+        // Closure: every allocated reachable object's children are reachable.
+        for &r in &from_ab {
+            if let Some(obj) = h.get(r) {
+                for c in obj.children() {
+                    prop_assert!(from_ab.contains(&c), "closed under edges");
+                }
+            }
+        }
+    }
+
+    /// Strong tricolor invariant implies the weak one (§2.1).
+    #[test]
+    fn strong_implies_weak(h in arb_heap(), greys in proptest::collection::vec(0u8..8, 0..4)) {
+        let greys: Vec<Ref> = greys
+            .into_iter()
+            .map(Ref::new)
+            .filter(|r| h.contains(*r))
+            .collect();
+        let tri = Tricolor::new(&h, true, greys);
+        if tri.strong_invariant() {
+            prop_assert!(tri.weak_invariant());
+        }
+    }
+
+    /// Color partition: black and white are disjoint; flipping the sense
+    /// swaps them.
+    #[test]
+    fn color_partition(h in arb_heap()) {
+        let t1 = Tricolor::new(&h, true, std::iter::empty());
+        let t2 = Tricolor::new(&h, false, std::iter::empty());
+        for r in h.refs() {
+            prop_assert!(t1.is_black(r) ^ t1.is_white(r));
+            prop_assert_eq!(t1.is_black(r), t2.is_white(r));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runtime: random single-mutator programs with interleaved collections
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum GcOp {
+    Alloc(u8),          // field count 0..=2
+    Load(u8, u8),       // root index (mod #roots), field
+    Store(u8, u8, u8),  // src, field, dst (indices into roots)
+    Discard(u8),
+    Collect,
+}
+
+fn gc_op_strategy() -> impl Strategy<Value = GcOp> {
+    prop_oneof![
+        (0u8..3).prop_map(GcOp::Alloc),
+        (any::<u8>(), 0u8..2).prop_map(|(r, f)| GcOp::Load(r, f)),
+        (any::<u8>(), 0u8..2, any::<u8>()).prop_map(|(s, f, d)| GcOp::Store(s, f, d)),
+        any::<u8>().prop_map(GcOp::Discard),
+        Just(GcOp::Collect),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the op sequence, validation never trips: every rooted
+    /// object survives every collection, and full collections after
+    /// dropping all roots empty the heap.
+    #[test]
+    fn random_programs_never_observe_dangling(ops in proptest::collection::vec(gc_op_strategy(), 1..60)) {
+        let collector = Collector::new(GcConfig::new(128, 2));
+        let mut m = collector.register_mutator();
+        let run_cycle = |m: &mut relaxing_safely::gc::Mutator| {
+            let done = std::sync::atomic::AtomicBool::new(false);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    collector.collect();
+                    done.store(true, std::sync::atomic::Ordering::Release);
+                });
+                while !done.load(std::sync::atomic::Ordering::Acquire) {
+                    m.safepoint();
+                    std::thread::yield_now();
+                }
+            });
+        };
+        for op in ops {
+            let roots: Vec<_> = m.roots().collect();
+            let pick = |i: u8| roots.get(i as usize % roots.len().max(1)).copied();
+            match op {
+                GcOp::Alloc(f) => {
+                    if m.alloc(f as usize).is_err() {
+                        run_cycle(&mut m); // reclaim, then retry once
+                        let _ = m.alloc(f as usize);
+                    }
+                }
+                GcOp::Load(r, f) => {
+                    if let Some(src) = pick(r) {
+                        if (f as usize) < m.field_count(src) {
+                            let _ = m.load(src, f as usize);
+                        }
+                    }
+                }
+                GcOp::Store(s, f, d) => {
+                    if let (Some(src), Some(dst)) = (pick(s), pick(d)) {
+                        if (f as usize) < m.field_count(src) {
+                            m.store(src, f as usize, Some(dst));
+                        }
+                    }
+                }
+                GcOp::Discard(r) => {
+                    if let Some(g) = pick(r) {
+                        m.discard(g);
+                    }
+                }
+                GcOp::Collect => run_cycle(&mut m),
+            }
+        }
+        // Teardown: drop all roots; two cycles must empty the heap.
+        let roots: Vec<_> = m.roots().collect();
+        for g in roots {
+            m.discard(g);
+        }
+        run_cycle(&mut m);
+        run_cycle(&mut m);
+        prop_assert_eq!(collector.live_objects(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Integration tests for the runtime collector (`otf-gc`): end-to-end
+//! cycles with concurrent mutators, reclamation precision, floating
+//! garbage, and mutator lifecycle.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use relaxing_safely::gc::{Collector, GcConfig, Mutator};
+
+/// Run `f(mutator)` while the collector executes exactly `cycles` cycles.
+fn with_running_collector(
+    cfg: GcConfig,
+    setup: impl FnOnce(&mut Mutator),
+    cycles: u64,
+) -> (Collector, Mutator) {
+    let collector = Collector::new(cfg);
+    let mut m = collector.register_mutator();
+    setup(&mut m);
+    collector.start();
+    let target = collector.stats().cycles() + cycles;
+    while collector.stats().cycles() < target {
+        m.safepoint();
+        std::thread::yield_now();
+    }
+    collector.stop();
+    (collector, m)
+}
+
+#[test]
+fn garbage_is_collected_live_data_survives() {
+    let (collector, mut m) = with_running_collector(
+        GcConfig::new(128, 2),
+        |m| {
+            // live: a -> b; garbage: c -> d (both discarded)
+            let a = m.alloc(2).unwrap();
+            let b = m.alloc(2).unwrap();
+            m.store(a, 0, Some(b));
+            m.discard(b);
+            let c = m.alloc(2).unwrap();
+            let d = m.alloc(2).unwrap();
+            m.store(c, 0, Some(d));
+            m.discard(d);
+            m.discard(c);
+        },
+        3,
+    );
+    assert_eq!(collector.live_objects(), 2);
+    // The surviving pair is intact and loadable.
+    let a = m.roots().next().expect("a still rooted");
+    let b = m.load(a, 0).expect("b survived");
+    assert!(m.is_rooted(b));
+}
+
+#[test]
+fn cyclic_garbage_is_collected() {
+    let (collector, _m) = with_running_collector(
+        GcConfig::new(64, 1),
+        |m| {
+            let a = m.alloc(1).unwrap();
+            let b = m.alloc(1).unwrap();
+            m.store(a, 0, Some(b));
+            m.store(b, 0, Some(a)); // cycle
+            m.discard(a);
+            m.discard(b);
+        },
+        3,
+    );
+    // Tracing collectors reclaim cycles (unlike reference counting).
+    assert_eq!(collector.live_objects(), 0);
+}
+
+#[test]
+fn floating_garbage_reclaimed_within_two_cycles() {
+    let collector = Collector::new(GcConfig::new(64, 1));
+    let mut m = collector.register_mutator();
+    let a = m.alloc(1).unwrap();
+    let b = m.alloc(1).unwrap();
+    m.store(a, 0, Some(b));
+    m.discard(b);
+    collector.start();
+    while collector.stats().cycles() < 1 {
+        m.safepoint();
+    }
+    // Cut b loose mid-stream: depending on where the cycle is, b floats
+    // through it, but two full cycles later it must be gone.
+    m.store(a, 0, None);
+    let at = collector.stats().cycles();
+    while collector.stats().cycles() < at + 2 {
+        m.safepoint();
+    }
+    collector.stop();
+    assert_eq!(collector.live_objects(), 1, "only `a` remains");
+}
+
+#[test]
+fn heap_fills_and_recovers_after_collection() {
+    let collector = Collector::new(GcConfig::new(8, 0));
+    let mut m = collector.register_mutator();
+    let mut held = Vec::new();
+    for _ in 0..8 {
+        held.push(m.alloc(0).unwrap());
+    }
+    assert!(m.alloc(0).is_err(), "heap is full");
+    for g in held.drain(..) {
+        m.discard(g);
+    }
+    // One cycle driven from another thread frees everything.
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            collector.collect();
+            done.store(true, Ordering::Release);
+        });
+        while !done.load(Ordering::Acquire) {
+            m.safepoint();
+            std::thread::yield_now();
+        }
+    });
+    assert_eq!(collector.live_objects(), 0);
+    assert!(m.alloc(0).is_ok(), "allocation works again");
+}
+
+#[test]
+fn many_mutators_churn_without_use_after_free() {
+    const MUTS: usize = 4;
+    const OPS: usize = 5_000;
+    let collector = Collector::new(GcConfig::new(2048, 2));
+    let mut m0 = collector.register_mutator();
+    let anchor = m0.alloc(2).unwrap();
+    collector.start();
+    let finished = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..MUTS {
+            let mut m = collector.register_mutator();
+            m.adopt(anchor);
+            let finished = &finished;
+            s.spawn(move || {
+                for op in 0..OPS {
+                    m.safepoint();
+                    if let Ok(node) = m.alloc(2) {
+                        let old = m.load(anchor, 0);
+                        m.store(node, 0, old);
+                        m.store(anchor, 0, Some(node));
+                        if let Some(o) = old {
+                            m.discard(o);
+                        }
+                        m.discard(node);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                    if op % 100 == 0 {
+                        m.store(anchor, 0, None);
+                    }
+                }
+                finished.fetch_add(1, Ordering::Release);
+            });
+        }
+        let finished = &finished;
+        s.spawn(move || {
+            while finished.load(Ordering::Acquire) < MUTS {
+                m0.safepoint();
+                std::thread::yield_now();
+            }
+            drop(m0);
+        });
+    });
+    collector.stop();
+    // Validation mode would have panicked on any freed-while-reachable
+    // access; reaching here with plausible counters is the assertion.
+    assert!(collector.stats().cycles() > 0);
+    assert!(collector.stats().freed() > 0);
+}
+
+#[test]
+fn mutators_can_come_and_go_mid_collection() {
+    let collector = Collector::new(GcConfig::new(256, 1));
+    collector.start();
+    for _ in 0..10 {
+        let mut m = collector.register_mutator();
+        let a = m.alloc(1).unwrap();
+        m.safepoint();
+        m.discard(a);
+        drop(m); // deregisters cleanly even if a handshake is pending
+    }
+    collector.stop();
+    // Everything those transient mutators made is garbage...
+    let collector2 = collector; // keep alive for final count
+    assert!(collector2.stats().cycles() > 0);
+}
+
+#[test]
+fn stats_track_the_fast_path() {
+    let collector = Collector::new(GcConfig::new(512, 1));
+    let mut m = collector.register_mutator();
+    let a = m.alloc(1).unwrap();
+    let b = m.alloc(1).unwrap();
+    // Idle: barriers run but exit on the flag check; no CAS.
+    for _ in 0..100 {
+        m.store(a, 0, Some(b));
+    }
+    let s = collector.stats();
+    assert!(s.barrier_checks() >= 100);
+    assert_eq!(s.barrier_cas_won() + s.barrier_cas_lost(), 0);
+}
