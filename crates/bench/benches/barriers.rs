@@ -3,12 +3,12 @@
 //! is already marked, and pays the CAS only on the first marking of an
 //! unmarked object during an active cycle.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gc_bench::harness::{bench_function, Bencher};
 use otf_gc::{Collector, GcConfig, Phase};
 
 /// Bare store: both barriers compiled out (the ablation configuration) —
 /// the baseline cost of the field write itself.
-fn bench_store_bare(c: &mut Criterion) {
+fn bench_store_bare(bench: &mut Bencher) {
     let mut cfg = GcConfig::new(1024, 2);
     cfg.insertion_barrier = false;
     cfg.deletion_barrier = false;
@@ -17,28 +17,24 @@ fn bench_store_bare(c: &mut Criterion) {
     let mut m = collector.register_mutator();
     let a = m.alloc(2).unwrap();
     let b = m.alloc(2).unwrap();
-    c.bench_function("store/bare (no barriers)", |bench| {
-        bench.iter(|| m.store(a, 0, Some(b)))
-    });
+    bench.iter(|| m.store(a, 0, Some(b)))
 }
 
 /// Barriers on, collector idle: the flag check matches (`flag == f_M`), so
 /// the barrier exits after one load per mark.
-fn bench_store_idle(c: &mut Criterion) {
+fn bench_store_idle(bench: &mut Bencher) {
     let mut cfg = GcConfig::new(1024, 2);
     cfg.validate = false;
     let collector = Collector::new(cfg);
     let mut m = collector.register_mutator();
     let a = m.alloc(2).unwrap();
     let b = m.alloc(2).unwrap();
-    c.bench_function("store/idle (barrier fast exit)", |bench| {
-        bench.iter(|| m.store(a, 0, Some(b)))
-    });
+    bench.iter(|| m.store(a, 0, Some(b)))
 }
 
 /// Barriers on, marking active, targets already marked: the common case
 /// during a cycle — still no CAS.
-fn bench_store_marked(c: &mut Criterion) {
+fn bench_store_marked(bench: &mut Bencher) {
     let mut cfg = GcConfig::new(1024, 2);
     cfg.validate = false;
     let collector = Collector::new(cfg);
@@ -48,15 +44,13 @@ fn bench_store_marked(c: &mut Criterion) {
     let mut m = collector.register_mutator();
     let a = m.alloc(2).unwrap();
     let b = m.alloc(2).unwrap();
-    c.bench_function("store/mark, target marked (fast path)", |bench| {
-        bench.iter(|| m.store(a, 0, Some(b)))
-    });
+    bench.iter(|| m.store(a, 0, Some(b)))
 }
 
 /// Barriers on, marking active, target *unmarked*: the slow path — one CAS
 /// per fresh object. Each iteration gets a fresh white object via batched
 /// setup so the CAS actually fires.
-fn bench_store_unmarked(c: &mut Criterion) {
+fn bench_store_unmarked(bench: &mut Bencher) {
     let mut cfg = GcConfig::new(1 << 16, 2);
     cfg.validate = false;
     let collector = Collector::new(cfg);
@@ -67,37 +61,30 @@ fn bench_store_unmarked(c: &mut Criterion) {
     // Pre-allocate a pool of white objects to consume.
     let pool: Vec<_> = (0..60_000).map(|_| m.alloc(0).unwrap()).collect();
     let mut idx = 0;
-    c.bench_function("store/mark, target unmarked (CAS)", |bench| {
-        bench.iter_batched(
-            || {
-                let t = pool[idx % pool.len()];
-                idx += 1;
-                t
-            },
-            |t| m.store(a, 0, Some(t)),
-            BatchSize::SmallInput,
-        )
-    });
+    bench.iter_batched(
+        || {
+            let t = pool[idx % pool.len()];
+            idx += 1;
+            t
+        },
+        |t| m.store(a, 0, Some(t)),
+    )
 }
 
 /// The same store with validation on: the cost of the use-after-free
 /// oracle.
-fn bench_store_validated(c: &mut Criterion) {
+fn bench_store_validated(bench: &mut Bencher) {
     let collector = Collector::new(GcConfig::new(1024, 2));
     let mut m = collector.register_mutator();
     let a = m.alloc(2).unwrap();
     let b = m.alloc(2).unwrap();
-    c.bench_function("store/idle + validation oracle", |bench| {
-        bench.iter(|| m.store(a, 0, Some(b)))
-    });
+    bench.iter(|| m.store(a, 0, Some(b)))
 }
 
-criterion_group!(
-    barriers,
-    bench_store_bare,
-    bench_store_idle,
-    bench_store_marked,
-    bench_store_unmarked,
-    bench_store_validated
-);
-criterion_main!(barriers);
+fn main() {
+    bench_function("store/bare (no barriers)", bench_store_bare);
+    bench_function("store/idle (barrier fast exit)", bench_store_idle);
+    bench_function("store/mark, target marked (fast path)", bench_store_marked);
+    bench_function("store/mark, target unmarked (CAS)", bench_store_unmarked);
+    bench_function("store/idle + validation oracle", bench_store_validated);
+}

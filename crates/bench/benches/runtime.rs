@@ -4,28 +4,26 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use otf_gc::{Collector, GcConfig, Gc, Mutator};
+use gc_bench::harness::{bench_function, Bencher};
+use otf_gc::{Collector, Gc, GcConfig, Mutator};
 
 /// Allocation + discard churn with the collector running concurrently:
 /// steady-state allocation throughput including reclamation.
-fn bench_alloc_churn(c: &mut Criterion) {
+fn bench_alloc_churn(bench: &mut Bencher) {
     let mut cfg = GcConfig::new(8192, 1);
     cfg.validate = false;
     let collector = Collector::new(cfg);
     let mut m = collector.register_mutator();
     collector.start();
-    c.bench_function("alloc+discard churn (collector running)", |bench| {
-        bench.iter(|| loop {
-            m.safepoint();
-            match m.alloc(1) {
-                Ok(g) => {
-                    m.discard(g);
-                    break;
-                }
-                Err(_) => std::thread::yield_now(),
+    bench.iter(|| loop {
+        m.safepoint();
+        match m.alloc(1) {
+            Ok(g) => {
+                m.discard(g);
+                break;
             }
-        })
+            Err(_) => std::thread::yield_now(),
+        }
     });
     collector.stop();
 }
@@ -49,9 +47,7 @@ fn build_list(m: &mut Mutator, n: usize) -> Gc {
 
 /// One full collect() cycle against live sets of different sizes, with a
 /// helper thread answering handshakes.
-fn bench_cycle_vs_live(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gc cycle vs live set");
-    group.sample_size(20);
+fn bench_cycle_vs_live() {
     for &live in &[16usize, 256, 2048] {
         let mut cfg = GcConfig::new(live * 2 + 64, 1);
         cfg.validate = false;
@@ -66,21 +62,18 @@ fn bench_cycle_vs_live(c: &mut Criterion) {
                     std::thread::yield_now();
                 }
             });
-            group.bench_with_input(BenchmarkId::from_parameter(live), &live, |bench, _| {
+            bench_function(&format!("gc cycle vs live set/{live}"), |bench| {
                 bench.iter(|| collector.collect())
             });
             stop.store(true, Ordering::Release);
         });
     }
-    group.finish();
 }
 
 /// Full-cycle latency (on an empty heap) against the number of registered
 /// mutators, all spinning at safepoints: the cost of the six-plus rounds
 /// of ragged handshakes.
-fn bench_handshake_latency(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cycle latency vs mutators");
-    group.sample_size(20);
+fn bench_handshake_latency() {
     for &n in &[1usize, 2, 4] {
         let mut cfg = GcConfig::new(64, 1);
         cfg.validate = false;
@@ -97,18 +90,16 @@ fn bench_handshake_latency(c: &mut Criterion) {
                     }
                 });
             }
-            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench_function(&format!("cycle latency vs mutators/{n}"), |bench| {
                 bench.iter(|| collector.collect())
             });
             stop.store(true, Ordering::Release);
         });
     }
-    group.finish();
 }
 
 /// The §4 allocation-pool extension vs the global free-list lock.
-fn bench_alloc_pooling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alloc: pooled vs locked");
+fn bench_alloc_pooling() {
     for (name, pool) in [("locked (pool=0)", 0usize), ("pooled (batch 64)", 64)] {
         let mut cfg = GcConfig::new(1 << 14, 0);
         cfg.validate = false;
@@ -116,7 +107,7 @@ fn bench_alloc_pooling(c: &mut Criterion) {
         let collector = Collector::new(cfg);
         let mut m = collector.register_mutator();
         collector.start();
-        group.bench_function(name, |bench| {
+        bench_function(&format!("alloc: {name}"), |bench| {
             bench.iter(|| loop {
                 m.safepoint();
                 match m.alloc(0) {
@@ -130,14 +121,11 @@ fn bench_alloc_pooling(c: &mut Criterion) {
         });
         collector.stop();
     }
-    group.finish();
 }
 
-criterion_group!(
-    runtime,
-    bench_alloc_churn,
-    bench_cycle_vs_live,
-    bench_handshake_latency,
-    bench_alloc_pooling
-);
-criterion_main!(runtime);
+fn main() {
+    bench_function("alloc+discard churn (collector running)", bench_alloc_churn);
+    bench_cycle_vs_live();
+    bench_handshake_latency();
+    bench_alloc_pooling();
+}

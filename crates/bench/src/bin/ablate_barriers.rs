@@ -25,7 +25,12 @@ fn main() {
 
     let reports = vec![
         check_config("no insertion barrier", &no_insertion, max, Suite::Full),
-        check_config("no deletion barrier (chain heap)", &no_deletion, max, Suite::Full),
+        check_config(
+            "no deletion barrier (chain heap)",
+            &no_deletion,
+            max,
+            Suite::Full,
+        ),
     ];
     print_table(&reports);
     for r in &reports {

@@ -28,13 +28,26 @@ fn main() {
     no_fences_sc.memory_model = MemoryModel::Sc;
 
     let reports = vec![
-        check_config("TSO, no handshake fences", &no_fences_tso, max, Suite::SafetyOnly),
-        check_config("SC,  no handshake fences", &no_fences_sc, max, Suite::SafetyOnly),
+        check_config(
+            "TSO, no handshake fences",
+            &no_fences_tso,
+            max,
+            Suite::SafetyOnly,
+        ),
+        check_config(
+            "SC,  no handshake fences",
+            &no_fences_sc,
+            max,
+            Suite::SafetyOnly,
+        ),
     ];
     print_table(&reports);
     print_trace(&reports[0]);
 
-    assert!(reports[0].violated.is_some(), "TSO without fences is unsafe");
+    assert!(
+        reports[0].violated.is_some(),
+        "TSO without fences is unsafe"
+    );
     assert!(reports[1].verified(), "SC does not need the fences");
     println!("\nfences matter exactly because of the store buffers: the same");
     println!("fence-free protocol is safe under SC and unsafe under TSO.");

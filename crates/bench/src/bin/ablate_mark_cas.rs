@@ -30,7 +30,12 @@ fn main() {
 
     let reports = vec![
         check_config("racy mark, 1 mutator", &racy, max, Suite::Full),
-        check_config("racy mark, 2 mutators, shared obj", &racy2, max, Suite::Full),
+        check_config(
+            "racy mark, 2 mutators, shared obj",
+            &racy2,
+            max,
+            Suite::Full,
+        ),
     ];
     print_table(&reports);
     for r in &reports {

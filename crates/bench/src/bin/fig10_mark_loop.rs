@@ -41,7 +41,7 @@ fn main() {
         max,
         vec![no_grey_at_sweep, combined_property(&cfg)],
     );
-    print_table(&[report.clone()]);
+    print_table(std::slice::from_ref(&report));
     assert!(report.violated.is_none());
     println!("\nwhenever the collector reaches `phase := Sweep`, the grey set is empty:");
     println!("mark-loop termination is sound (Figure 10 / gc_W_empty_mut_inv).");

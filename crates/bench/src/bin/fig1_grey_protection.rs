@@ -31,7 +31,10 @@ fn main() {
 
     let tri = Tricolor::new(&heap, true, [g]);
     println!("chain intact:   weak invariant = {}", tri.weak_invariant());
-    println!("                grey-protected = {:?}", tri.grey_protected());
+    println!(
+        "                grey-protected = {:?}",
+        tri.grey_protected()
+    );
 
     let mut cut = heap.clone();
     cut.set_field(c1, 0, None); // delete an X-marked edge, no barrier
@@ -61,7 +64,12 @@ fn main() {
     without.deletion_barrier = false;
 
     let reports = vec![
-        check_config("chain, deletion barrier ON", &with_barrier, max, Suite::Full),
+        check_config(
+            "chain, deletion barrier ON",
+            &with_barrier,
+            max,
+            Suite::Full,
+        ),
         check_config("chain, deletion barrier OFF", &without, max, Suite::Full),
     ];
     print_table(&reports);

@@ -9,9 +9,8 @@
 //! how the reachable states distribute over the collector's handshake
 //! phases — the executable picture of the cycle.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use gc_bench::{check_config_with, print_table};
 use gc_model::invariants::combined_property;
@@ -29,9 +28,11 @@ fn main() {
 
     // A counting "property" that never fails: tallies states by
     // (handshake phase, committed phase).
-    let histogram: Rc<RefCell<BTreeMap<(String, Phase), usize>>> =
-        Rc::new(RefCell::new(BTreeMap::new()));
-    let h2 = Rc::clone(&histogram);
+    // Counting happens per visited state, so this driver keeps the default
+    // sequential strategy for exact tallies.
+    let histogram: Arc<Mutex<BTreeMap<(String, Phase), usize>>> =
+        Arc::new(Mutex::new(BTreeMap::new()));
+    let h2 = Arc::clone(&histogram);
     let cfg2 = cfg.clone();
     let counter = Property::labeled("phase-histogram", move |st: &gc_model::ModelState| {
         let v = View::new(&cfg2, st);
@@ -39,7 +40,7 @@ fn main() {
             v.sys().ghost_gc_phase.to_string(),
             v.sys().committed_phase(),
         );
-        *h2.borrow_mut().entry(key).or_insert(0) += 1;
+        *h2.lock().expect("histogram lock").entry(key).or_insert(0) += 1;
         None
     });
 
@@ -49,11 +50,11 @@ fn main() {
         max,
         vec![counter, combined_property(&cfg)],
     );
-    print_table(&[report.clone()]);
+    print_table(std::slice::from_ref(&report));
 
     println!("\nstates by (handshake phase, committed collector phase):");
-    println!("{:<22} {:>10}  {}", "handshake phase", "phase", "states");
-    for ((hp, phase), n) in histogram.borrow().iter() {
+    println!("{:<22} {:>10}  states", "handshake phase", "phase");
+    for ((hp, phase), n) in histogram.lock().expect("histogram lock").iter() {
         println!("{hp:<22} {phase:>10}  {n}");
     }
     assert!(report.violated.is_none());

@@ -12,9 +12,8 @@
 //! mutator has loaded a control value the corresponding handshake has not
 //! yet communicated to it.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use gc_bench::{check_config_with, print_table};
 use gc_model::invariants::combined_property;
@@ -35,36 +34,42 @@ fn main() {
         relation: BTreeMap<(String, String, bool), usize>,
         early: usize,
     }
-    let obs: Rc<RefCell<Obs>> = Rc::default();
-    let o2 = Rc::clone(&obs);
+    // The observer mutates shared state per visited state, so the run
+    // stays on the sequential strategy (the default): parallel workers may
+    // re-evaluate a property on claim races, skewing exact counts.
+    let obs: Arc<Mutex<Obs>> = Arc::default();
+    let o2 = Arc::clone(&obs);
     let cfg2 = cfg.clone();
-    let watcher = Property::labeled("phase-relation-observer", move |st: &gc_model::ModelState| {
-        let v = View::new(&cfg2, st);
-        let sys = v.sys();
-        let mut obs = o2.borrow_mut();
-        for m in 0..cfg2.mutators {
-            let ms = v.mutator(m);
-            *obs.relation
-                .entry((
-                    sys.ghost_gc_phase.to_string(),
-                    ms.ghost_hs_phase.to_string(),
-                    sys.hs_pending[m],
-                ))
-                .or_insert(0) += 1;
-            // "Early observation": the committed phase is already Mark or
-            // beyond while the mutator's handshake phase says it has not
-            // yet been told about Init — it could read the new value now.
-            if sys.committed_phase() != Phase::Idle
-                && matches!(
-                    ms.ghost_hs_phase,
-                    gc_model::HsPhase::Idle | gc_model::HsPhase::IdleInit
-                )
-            {
-                obs.early += 1;
+    let watcher = Property::labeled(
+        "phase-relation-observer",
+        move |st: &gc_model::ModelState| {
+            let v = View::new(&cfg2, st);
+            let sys = v.sys();
+            let mut obs = o2.lock().expect("observer lock");
+            for m in 0..cfg2.mutators {
+                let ms = v.mutator(m);
+                *obs.relation
+                    .entry((
+                        sys.ghost_gc_phase.to_string(),
+                        ms.ghost_hs_phase.to_string(),
+                        sys.hs_pending[m],
+                    ))
+                    .or_insert(0) += 1;
+                // "Early observation": the committed phase is already Mark or
+                // beyond while the mutator's handshake phase says it has not
+                // yet been told about Init — it could read the new value now.
+                if sys.committed_phase() != Phase::Idle
+                    && matches!(
+                        ms.ghost_hs_phase,
+                        gc_model::HsPhase::Idle | gc_model::HsPhase::IdleInit
+                    )
+                {
+                    obs.early += 1;
+                }
             }
-        }
-        None
-    });
+            None
+        },
+    );
 
     let report = check_config_with(
         "1 mutator, 2 slots",
@@ -72,9 +77,9 @@ fn main() {
         max,
         vec![watcher, combined_property(&cfg)],
     );
-    print_table(&[report.clone()]);
+    print_table(std::slice::from_ref(&report));
 
-    let obs = obs.borrow();
+    let obs = obs.lock().expect("observer lock");
     println!("\nobserved (collector hs-phase, mutator hs-phase, pending) relation:");
     println!(
         "{:<22} {:<22} {:>8} {:>10}",

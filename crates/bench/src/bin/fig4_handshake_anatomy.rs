@@ -81,5 +81,8 @@ fn main() {
     println!("the root-marking handshake, as executed by the model");
     println!("(one line per atomic event; compare with the paper's Figure 4):\n");
     print!("{}", model.format_trace(&events));
-    println!("\n{} events from idle to the collector holding the merged roots.", events.len());
+    println!(
+        "\n{} events from idle to the collector holding the merged roots.",
+        events.len()
+    );
 }

@@ -25,8 +25,13 @@ fn main() {
     race.initial = InitialHeap::shared_object(2, 1);
     race.ops.alloc = false;
     race.ops.load = false;
-    let report = check_config("2 mutators racing marks on a shared object", &race, max, Suite::Full);
-    print_table(&[report.clone()]);
+    let report = check_config(
+        "2 mutators racing marks on a shared object",
+        &race,
+        max,
+        Suite::Full,
+    );
+    print_table(std::slice::from_ref(&report));
     assert!(report.violated.is_none());
 
     // -- Runtime: fast-path effectiveness ---------------------------------
@@ -67,5 +72,10 @@ fn main() {
         s.barrier_cas_won(),
         s.barrier_cas_lost()
     );
-    println!("cycles: {}, allocated: {}, freed: {}", s.cycles(), s.allocated(), s.freed());
+    println!(
+        "cycles: {}, allocated: {}, freed: {}",
+        s.cycles(),
+        s.allocated(),
+        s.freed()
+    );
 }

@@ -30,10 +30,37 @@ fn main() {
     };
 
     let reports = vec![
-        mk("discard only", MutatorOps { discard: true, ..off }),
-        mk("alloc + discard", MutatorOps { alloc: true, discard: true, ..off }),
-        mk("load + discard", MutatorOps { load: true, discard: true, ..off }),
-        mk("store + discard", MutatorOps { store: true, discard: true, ..off }),
+        mk(
+            "discard only",
+            MutatorOps {
+                discard: true,
+                ..off
+            },
+        ),
+        mk(
+            "alloc + discard",
+            MutatorOps {
+                alloc: true,
+                discard: true,
+                ..off
+            },
+        ),
+        mk(
+            "load + discard",
+            MutatorOps {
+                load: true,
+                discard: true,
+                ..off
+            },
+        ),
+        mk(
+            "store + discard",
+            MutatorOps {
+                store: true,
+                discard: true,
+                ..off
+            },
+        ),
         mk("all operations", MutatorOps::default()),
     ];
     print_table(&reports);

@@ -8,7 +8,7 @@
 //! corner cases.
 
 use cimp::{Event, Program, System};
-use mc::{explore, TransitionSystem};
+use mc::{Checker, TransitionSystem};
 
 type P = Program<u32, u32, u32>;
 
@@ -36,9 +36,11 @@ fn main() {
     // Interleaving: two independent 3-step counters — the state space is
     // the (3+1)² grid, every interleaving explored.
     let sys = System::new(vec![("a", counter(3), 0), ("b", counter(3), 0)]);
-    let stats = explore(&Wrap(sys));
-    println!("interleaving: two 3-step counters -> {} states, {} transitions (4×4 grid)",
-        stats.states, stats.transitions);
+    let stats = Checker::new().run(&Wrap(sys)).stats();
+    println!(
+        "interleaving: two 3-step counters -> {} states, {} transitions (4×4 grid)",
+        stats.states, stats.transitions
+    );
     assert_eq!(stats.states, 16);
 
     // Rendezvous: client asks with α = its state, server doubles it.

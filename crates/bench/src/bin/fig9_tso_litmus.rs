@@ -7,7 +7,9 @@
 //! preservation of message passing (MP), and the exactly-one-winner
 //! guarantee of locked CMPXCHG (the race Figure 5's `mark` relies on).
 
-use tso_model::litmus::{cas_race, iriw, lb, mp, n6, r_shape, sb, sb_fenced, two_plus_two_w, Outcome};
+use tso_model::litmus::{
+    cas_race, iriw, lb, mp, n6, r_shape, sb, sb_fenced, two_plus_two_w, Outcome,
+};
 use tso_model::MemoryModel;
 
 fn main() {
@@ -72,7 +74,10 @@ fn main() {
     let t = two_plus_two_w();
     let finals = t.final_memories(MemoryModel::Tso);
     assert!(!finals.contains(&vec![("x", 1), ("y", 2)]));
-    println!("2+2W: final x=1∧y=2 unreachable ({} final memories)", finals.len());
+    println!(
+        "2+2W: final x=1∧y=2 unreachable ({} final memories)",
+        finals.len()
+    );
 
     println!("\nall litmus expectations hold: the substrate matches x86-TSO.");
 }

@@ -31,7 +31,12 @@ fn main() {
 
     let reports = vec![
         check_config("skip noop2 (post f_M flip)", &skip2, max, Suite::SafetyOnly),
-        check_config("skip noop3 (post phase:=Init)", &skip3, max, Suite::SafetyOnly),
+        check_config(
+            "skip noop3 (post phase:=Init)",
+            &skip3,
+            max,
+            Suite::SafetyOnly,
+        ),
         check_config("skip both", &skip23, max, Suite::SafetyOnly),
     ];
     print_table(&reports);

@@ -1,0 +1,69 @@
+//! Parallel-checker comparison: the fig3 configuration (1 mutator, 2 heap
+//! slots, full invariant suite, hash-compact) explored by the
+//! level-synchronous BFS at 1, 2 and 4 worker threads.
+//!
+//! The run asserts the tentpole guarantee — identical state counts,
+//! transition counts, depths and verdicts at every thread count — and
+//! reports the wall-clock ratio against the sequential run. The speedup is
+//! only meaningful on a multi-core host (the harness prints the machine's
+//! available parallelism so the record is interpretable).
+//!
+//! Usage: `parallel_speedup [max_states] [thread-list]`, e.g.
+//! `parallel_speedup 5000000 1,2,4`.
+
+use gc_bench::{bounded_config, check_config_opts, print_table, CheckReport, Suite};
+use gc_model::ModelConfig;
+use mc::Strategy;
+
+fn main() {
+    let max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_000_000);
+    let threads: Vec<usize> = std::env::args()
+        .nth(2)
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.parse().expect("thread counts are integers"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4]);
+
+    let cfg = ModelConfig::small(1, 2);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("parallel frontier exploration, fig3 configuration (1 mutator, 2 slots, full suite)");
+    println!("host parallelism: {cores} core(s)\n");
+
+    let reports: Vec<CheckReport> = threads
+        .iter()
+        .map(|&t| {
+            check_config_opts(
+                format!("1 mutator, 2 slots, {t} thread(s)"),
+                &cfg,
+                Suite::Full.properties(&cfg),
+                bounded_config(max),
+                Strategy::Bfs { threads: t },
+            )
+        })
+        .collect();
+
+    print_table(&reports);
+
+    let base = &reports[0];
+    println!();
+    for r in &reports {
+        assert_eq!(
+            r.states, base.states,
+            "state counts must be thread-invariant"
+        );
+        assert_eq!(
+            r.transitions, base.transitions,
+            "transition counts must be thread-invariant"
+        );
+        assert_eq!(r.depth, base.depth, "depth must be thread-invariant");
+        assert_eq!(r.outcome, base.outcome, "verdicts must be thread-invariant");
+        let speedup = base.elapsed.as_secs_f64() / r.elapsed.as_secs_f64();
+        println!("{:<44} speedup vs sequential: {speedup:>5.2}x", r.label);
+    }
+    println!("\nall thread counts agree on states, transitions, depth and verdict.");
+}

@@ -135,7 +135,10 @@ fn main() {
         "cut at cycle {cut_at}; after two more cycles freed grew {} -> {} (b reclaimed)",
         freed_before, freed_after
     );
-    assert!(freed_after > freed_before, "the garbage must be gone within two cycles");
+    assert!(
+        freed_after > freed_before,
+        "the garbage must be gone within two cycles"
+    );
     assert_eq!(collector.live_objects(), 1);
 
     // ---- Part 3: ablations trip the oracle on real threads --------------

@@ -3,11 +3,13 @@
 //! *Relaxing Safely* (PLDI 2015). See the workspace `EXPERIMENTS.md` for
 //! the figure → binary map and recorded results.
 
+pub mod harness;
+
 use std::time::{Duration, Instant};
 
 use gc_model::invariants::{combined_property, safety_property};
 use gc_model::{GcModel, ModelConfig};
-use mc::{Checker, Outcome, Property};
+use mc::{Checker, CheckerConfig, Property, Strategy};
 
 /// Which invariants a run checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +20,16 @@ pub enum Suite {
     /// Only the headline safety property `valid_refs_inv` — used for
     /// ablations that intentionally change the handshake structure.
     SafetyOnly,
+}
+
+impl Suite {
+    /// The property set this suite checks for `cfg`.
+    pub fn properties(self, cfg: &ModelConfig) -> Vec<Property<gc_model::ModelState>> {
+        match self {
+            Suite::Full => vec![combined_property(cfg)],
+            Suite::SafetyOnly => vec![safety_property(cfg)],
+        }
+    }
 }
 
 /// The distilled result of one model-checking run.
@@ -48,19 +60,25 @@ impl CheckReport {
     }
 }
 
+/// The default exploration bounds for experiment runs: hash-compact dedup
+/// under a state cap.
+pub fn bounded_config(max_states: usize) -> CheckerConfig {
+    CheckerConfig {
+        max_states,
+        hash_compact: true,
+        ..CheckerConfig::default()
+    }
+}
+
 /// Model-checks `cfg` with the chosen suite, up to `max_states`
-/// (hash-compacted), and distils the outcome.
+/// (hash-compacted, sequential BFS), and distils the outcome.
 pub fn check_config(
     label: impl Into<String>,
     cfg: &ModelConfig,
     max_states: usize,
     suite: Suite,
 ) -> CheckReport {
-    let prop = match suite {
-        Suite::Full => combined_property(cfg),
-        Suite::SafetyOnly => safety_property(cfg),
-    };
-    check_config_with(label, cfg, max_states, vec![prop])
+    check_config_with(label, cfg, max_states, suite.properties(cfg))
 }
 
 /// Like [`check_config`] but with caller-supplied properties.
@@ -70,8 +88,26 @@ pub fn check_config_with(
     max_states: usize,
     properties: Vec<Property<gc_model::ModelState>>,
 ) -> CheckReport {
+    check_config_opts(
+        label,
+        cfg,
+        properties,
+        bounded_config(max_states),
+        Strategy::default(),
+    )
+}
+
+/// The fully general driver: model-checks `cfg` with caller-supplied
+/// properties, checker configuration and strategy.
+pub fn check_config_opts(
+    label: impl Into<String>,
+    cfg: &ModelConfig,
+    properties: Vec<Property<gc_model::ModelState>>,
+    checker_config: CheckerConfig,
+    strategy: Strategy,
+) -> CheckReport {
     let model = GcModel::new(cfg.clone());
-    let mut checker = Checker::new().max_states(max_states).hash_compact(true);
+    let mut checker = Checker::with_config(checker_config).strategy(strategy);
     for p in properties {
         checker = checker.property(p);
     }
@@ -79,39 +115,25 @@ pub fn check_config_with(
     let outcome = checker.run(&model);
     let elapsed = t0.elapsed();
     let stats = outcome.stats();
-    let (outcome_str, violated, trace) = match &outcome {
-        Outcome::Verified(_) => ("VERIFIED".to_string(), None, None),
-        Outcome::Violated {
-            property, trace, ..
-        } => (
-            format!("VIOLATED {property}"),
-            Some(*property),
-            Some(model.format_trace(&trace.actions)),
-        ),
-        Outcome::BoundReached { bound, .. } => (format!("BOUNDED ({bound})"), None, None),
-        Outcome::Deadlock { trace, .. } => (
-            "DEADLOCK".to_string(),
-            None,
-            Some(model.format_trace(&trace.actions)),
-        ),
-    };
     CheckReport {
         label: label.into(),
-        outcome: outcome_str,
+        outcome: outcome.verdict(),
         states: stats.states,
         transitions: stats.transitions,
         depth: stats.depth,
         elapsed,
-        violated,
-        trace,
+        violated: outcome.violated_property(),
+        trace: outcome
+            .trace()
+            .map(|trace| model.format_trace(&trace.actions)),
     }
 }
 
 /// Prints a row-per-report table.
 pub fn print_table(reports: &[CheckReport]) {
     println!(
-        "{:<44} {:>12} {:>13} {:>6} {:>9}  {}",
-        "configuration", "states", "transitions", "depth", "time", "outcome"
+        "{:<44} {:>12} {:>13} {:>6} {:>9}  outcome",
+        "configuration", "states", "transitions", "depth", "time"
     );
     println!("{}", "-".repeat(118));
     for r in reports {

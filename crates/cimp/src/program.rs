@@ -226,7 +226,11 @@ impl<S, Req, Resp> Program<S, Req, Resp> {
 
     /// Adds a guard: a step that is enabled only when `cond` holds and
     /// leaves the state unchanged (an *await*).
-    pub fn guard(&mut self, label: Label, cond: impl Fn(&S) -> bool + Send + Sync + 'static) -> ComId
+    pub fn guard(
+        &mut self,
+        label: Label,
+        cond: impl Fn(&S) -> bool + Send + Sync + 'static,
+    ) -> ComId
     where
         S: Clone,
     {

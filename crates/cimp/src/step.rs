@@ -127,7 +127,11 @@ where
                 stack.push(*a);
                 work.push(stack);
             }
-            Com::If { cond, then_c, else_c } => {
+            Com::If {
+                cond,
+                then_c,
+                else_c,
+            } => {
                 if cond(state) {
                     stack.push(*then_c);
                 } else if let Some(e) = else_c {
@@ -202,7 +206,11 @@ mod tests {
         let steps = enabled_steps(&p, &initial(&p), &0);
         assert_eq!(steps.len(), 1);
         match &steps[0] {
-            PendingStep::Tau { label, stack, state } => {
+            PendingStep::Tau {
+                label,
+                stack,
+                state,
+            } => {
                 assert_eq!(*label, "inc");
                 assert!(stack.is_empty());
                 assert_eq!(*state, 1);
@@ -238,7 +246,12 @@ mod tests {
         p.set_entry(s);
         let steps = enabled_steps(&p, &initial(&p), &1);
         assert_eq!(steps.len(), 1);
-        let PendingStep::Tau { label, stack, state } = &steps[0] else {
+        let PendingStep::Tau {
+            label,
+            stack,
+            state,
+        } = &steps[0]
+        else {
             panic!()
         };
         assert_eq!(*label, "a");

@@ -13,7 +13,7 @@
 //! an enum over the per-role states) and one request/response vocabulary.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::program::{Label, Program};
 use crate::step::{at_labels, enabled_steps, PendingStep, Stack};
@@ -120,7 +120,7 @@ impl<S> SystemState<S> {
 
 struct Process<S, Req, Resp> {
     name: &'static str,
-    program: Rc<Program<S, Req, Resp>>,
+    program: Arc<Program<S, Req, Resp>>,
     initial: S,
 }
 
@@ -160,7 +160,7 @@ where
                     let _ = program.entry(); // panic early if unset
                     Process {
                         name,
-                        program: Rc::new(program),
+                        program: Arc::new(program),
                         initial,
                     }
                 })
@@ -314,10 +314,7 @@ mod tests {
 
     #[test]
     fn taus_interleave() {
-        let sys = System::new(vec![
-            ("a", counter("inc_a"), 0),
-            ("b", counter("inc_b"), 0),
-        ]);
+        let sys = System::new(vec![("a", counter("inc_a"), 0), ("b", counter("inc_b"), 0)]);
         let init = sys.initial_state();
         let succs = sys.successors(&init);
         assert_eq!(succs.len(), 2);
@@ -419,10 +416,7 @@ mod tests {
 
     #[test]
     fn find_locates_processes_by_name() {
-        let sys = System::new(vec![
-            ("a", counter("x"), 0),
-            ("b", counter("y"), 0),
-        ]);
+        let sys = System::new(vec![("a", counter("x"), 0), ("b", counter("y"), 0)]);
         assert_eq!(sys.find("b"), Some(ProcId(1)));
         assert_eq!(sys.find("zz"), None);
     }

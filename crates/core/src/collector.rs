@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::config::GcConfig;
 use crate::handle::Gc;
@@ -305,10 +305,7 @@ impl Collector {
         self.stop.store(false, Ordering::Release);
         let shared = Arc::clone(&self.shared);
         let stop = Arc::clone(&self.stop);
-        let collector = CollectorRef {
-            shared,
-            stop,
-        };
+        let collector = CollectorRef { shared, stop };
         *worker = Some(
             std::thread::Builder::new()
                 .name("otf-gc".into())

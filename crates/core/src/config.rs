@@ -40,7 +40,7 @@ impl GcConfig {
     pub fn new(capacity: usize, max_fields: usize) -> Self {
         assert!(capacity > 0, "heap capacity must be positive");
         assert!(
-            capacity <= u32::MAX as usize - 1,
+            capacity < u32::MAX as usize,
             "heap capacity exceeds the handle index space"
         );
         assert!(max_fields <= 255, "at most 255 fields per object");

@@ -12,7 +12,7 @@ use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::handle::Gc;
 
@@ -399,7 +399,10 @@ mod tests {
         let h = heap();
         assert!(matches!(
             h.alloc(3, false),
-            Err(AllocError::TooManyFields { requested: 3, max: 2 })
+            Err(AllocError::TooManyFields {
+                requested: 3,
+                max: 2
+            })
         ));
     }
 

@@ -66,14 +66,15 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
-mod collector;
 pub mod collections;
+mod collector;
 mod config;
 mod debug;
 mod handle;
 mod heap;
 mod mutator;
 mod stats;
+mod sync;
 mod worklist;
 
 pub use collections::{GcStack, GcTree};

@@ -105,10 +105,7 @@ impl Mutator {
         } else {
             self.shared.heap.alloc(fields, fa)?
         };
-        self.shared
-            .stats
-            .allocated
-            .fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.allocated.fetch_add(1, Ordering::Relaxed);
         self.roots.insert(g);
         Ok(g)
     }

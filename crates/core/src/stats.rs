@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 /// A record of one completed collection cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -1,0 +1,27 @@
+//! A minimal mutex with `parking_lot`-style ergonomics (`lock()` returns
+//! the guard directly) built on `std::sync::Mutex`, so the crate carries no
+//! external dependencies. Lock poisoning is ignored: the collector's
+//! critical sections only move plain data, so a panicking holder leaves the
+//! protected value consistent, and the use-after-free oracle tests rely on
+//! surviving caught panics.
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock whose `lock` never fails.
+#[derive(Debug, Default)]
+pub(crate) struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub(crate) fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, ignoring poisoning.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}

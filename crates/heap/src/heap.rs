@@ -330,7 +330,7 @@ mod tests {
         let reach = h.reachable([a]);
         assert!(reach.contains(&b)); // discovered via the dangling field
         assert!(!h.valid_refs([a])); // ... and detected as invalid
-        assert!(h.valid_refs([]));   // empty roots are trivially valid
+        assert!(h.valid_refs([])); // empty roots are trivially valid
     }
 
     #[test]

@@ -1,0 +1,546 @@
+//! The level-synchronous (parallel) breadth-first exploration engine.
+//!
+//! One algorithm serves every thread count: the BFS proceeds level by
+//! level; each level's frontier is partitioned across workers in fixed
+//! blocks handed out by an atomic cursor, duplicate detection goes through
+//! a seen-set sharded over `NSHARDS` independently-locked shards (states
+//! routed by hash), and each newly discovered successor is recorded with
+//! its *discovery order* `(frontier position, successor ordinal)` — the
+//! position at which the equivalent sequential search would first reach
+//! it. When two parents race for the same successor the smaller order
+//! wins, so after the level is drained in sorted order the assigned state
+//! ids, parent links, verdicts and counterexample traces are identical for
+//! 1, 2 or N worker threads — and identical to a plain sequential BFS.
+//!
+//! Properties are evaluated in parallel, once per discovered state, at
+//! claim time; a violation is reported at the state's deterministic drain
+//! position, so the reported counterexample is a shortest one and the
+//! reported state count matches the sequential checker's exactly.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::config::CheckerConfig;
+use crate::hash::FxBuild;
+use crate::outcome::{Bound, Outcome, Stats, Trace};
+use crate::property::{first_violation, Property};
+use crate::TransitionSystem;
+
+const SHARD_BITS: u32 = 6;
+/// Number of seen-set shards (a power of two; states routed by hash).
+const NSHARDS: usize = 1 << SHARD_BITS;
+/// Frontier positions claimed per dispenser grab.
+const BLOCK: usize = 32;
+
+/// How duplicate detection stores states: exact (the state itself is the
+/// key) or hash-compact (a 128-bit fingerprint is the key).
+trait Mode<TS: TransitionSystem>: Sync {
+    /// What the seen-set stores.
+    type Key: Eq + Hash + Send + Clone;
+    /// A cheap, `Copy` digest computed once per successor and reused for
+    /// routing and lookups.
+    type Probe: Copy + Send;
+
+    fn probe(&self, s: &TS::State) -> Self::Probe;
+    fn route(p: Self::Probe) -> u64;
+    fn seen_contains(seen: &HashSet<Self::Key, FxBuild>, p: Self::Probe, s: &TS::State) -> bool;
+    fn pending_mut<'a>(
+        map: &'a mut HashMap<Self::Key, Pending<TS>, FxBuild>,
+        p: Self::Probe,
+        s: &TS::State,
+    ) -> Option<&'a mut Pending<TS>>;
+    fn key(p: Self::Probe, s: &TS::State) -> Self::Key;
+}
+
+/// Exact dedup: the seen-set owns every visited state.
+struct Exact;
+
+impl<TS: TransitionSystem> Mode<TS> for Exact {
+    type Key = TS::State;
+    type Probe = u64;
+
+    fn probe(&self, s: &TS::State) -> u64 {
+        FxBuild::default().hash_one(s)
+    }
+
+    fn route(p: u64) -> u64 {
+        p
+    }
+
+    fn seen_contains(seen: &HashSet<TS::State, FxBuild>, _p: u64, s: &TS::State) -> bool {
+        seen.contains(s)
+    }
+
+    fn pending_mut<'a>(
+        map: &'a mut HashMap<TS::State, Pending<TS>, FxBuild>,
+        _p: u64,
+        s: &TS::State,
+    ) -> Option<&'a mut Pending<TS>> {
+        map.get_mut(s)
+    }
+
+    fn key(_p: u64, s: &TS::State) -> TS::State {
+        s.clone()
+    }
+}
+
+/// Hash-compact dedup: the seen-set stores 128-bit fingerprints drawn from
+/// two independently-seeded hashers.
+struct Compact {
+    h1: std::collections::hash_map::RandomState,
+    h2: std::collections::hash_map::RandomState,
+}
+
+impl<TS: TransitionSystem> Mode<TS> for Compact {
+    type Key = u128;
+    type Probe = u128;
+
+    fn probe(&self, s: &TS::State) -> u128 {
+        (u128::from(self.h1.hash_one(s)) << 64) | u128::from(self.h2.hash_one(s))
+    }
+
+    fn route(p: u128) -> u64 {
+        p as u64
+    }
+
+    fn seen_contains(seen: &HashSet<u128, FxBuild>, p: u128, _s: &TS::State) -> bool {
+        seen.contains(&p)
+    }
+
+    fn pending_mut<'a>(
+        map: &'a mut HashMap<u128, Pending<TS>, FxBuild>,
+        p: u128,
+        _s: &TS::State,
+    ) -> Option<&'a mut Pending<TS>> {
+        map.get_mut(&p)
+    }
+
+    fn key(p: u128, _s: &TS::State) -> u128 {
+        p
+    }
+}
+
+/// A successor discovered during the current level, keyed in its shard by
+/// the dedup key and ordered by first sequential discovery.
+struct Pending<TS: TransitionSystem> {
+    /// `(frontier position) << 32 | successor ordinal` — the deterministic
+    /// discovery order used to resolve claim races and to drain the level.
+    order: u64,
+    parent: u32,
+    action: TS::Action,
+    state: TS::State,
+}
+
+struct Shard<K, TS: TransitionSystem> {
+    seen: HashSet<K, FxBuild>,
+    pending: HashMap<K, Pending<TS>, FxBuild>,
+}
+
+impl<K, TS: TransitionSystem> Default for Shard<K, TS> {
+    fn default() -> Self {
+        Shard {
+            seen: HashSet::default(),
+            pending: HashMap::default(),
+        }
+    }
+}
+
+/// Per-worker results for one level.
+#[derive(Default)]
+struct WorkerOut {
+    transitions: usize,
+    /// Smallest frontier position whose state has no successors.
+    deadlock: Option<u32>,
+    /// Smallest frontier position with successors at a depth-bounded level.
+    cutoff: Option<u32>,
+}
+
+fn min_pos(slot: &mut Option<u32>, pos: u32) {
+    *slot = Some(slot.map_or(pos, |p| p.min(pos)));
+}
+
+fn pack(pos: usize, ord: usize) -> u64 {
+    debug_assert!(pos <= u32::MAX as usize && ord <= u32::MAX as usize);
+    ((pos as u64) << 32) | ord as u64
+}
+
+fn rebuild_trace<TS: TransitionSystem>(
+    parents: &[Option<(u32, TS::Action)>],
+    mut at: u32,
+    state: TS::State,
+) -> Trace<TS> {
+    let mut actions = Vec::new();
+    while let Some((p, a)) = &parents[at as usize] {
+        actions.push(a.clone());
+        at = *p;
+    }
+    actions.reverse();
+    Trace { actions, state }
+}
+
+pub(crate) fn run<TS>(
+    config: &CheckerConfig,
+    properties: &[Property<TS::State>],
+    ts: &TS,
+    threads: usize,
+) -> Outcome<TS>
+where
+    TS: TransitionSystem,
+{
+    if config.hash_compact {
+        let mode = Compact {
+            h1: std::collections::hash_map::RandomState::new(),
+            h2: std::collections::hash_map::RandomState::new(),
+        };
+        level_bfs(config, properties, ts, threads, &mode)
+    } else {
+        level_bfs(config, properties, ts, threads, &Exact)
+    }
+}
+
+/// Expands one worker's share of the frontier, claiming successors into
+/// the sharded pending tables.
+#[allow(clippy::too_many_arguments)]
+fn expand_blocks<TS, M>(
+    mode: &M,
+    ts: &TS,
+    properties: &[Property<TS::State>],
+    frontier: &[(u32, TS::State)],
+    cursor: &AtomicUsize,
+    shards: &[Mutex<Shard<M::Key, TS>>],
+    violations: &Mutex<Vec<(M::Key, &'static str)>>,
+    expanding: bool,
+    forbid_deadlock: bool,
+    deadline: Option<Instant>,
+    stop: &AtomicBool,
+) -> WorkerOut
+where
+    TS: TransitionSystem,
+    M: Mode<TS>,
+{
+    let mut out = WorkerOut::default();
+    'grab: loop {
+        let start = cursor.fetch_add(BLOCK, Ordering::Relaxed);
+        if start >= frontier.len() {
+            break;
+        }
+        let end = (start + BLOCK).min(frontier.len());
+        for (pos, (parent_id, state)) in frontier.iter().enumerate().take(end).skip(start) {
+            if stop.load(Ordering::Relaxed) {
+                break 'grab;
+            }
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    stop.store(true, Ordering::Relaxed);
+                    break 'grab;
+                }
+            }
+            let succs = ts.successors(state);
+            if succs.is_empty() {
+                if forbid_deadlock {
+                    min_pos(&mut out.deadlock, pos as u32);
+                }
+                continue;
+            }
+            if !expanding {
+                // At the depth bound states are not expanded (and, matching
+                // the sequential checker, their outgoing edges not counted);
+                // the first such state triggers `Bound::Depth` at drain.
+                min_pos(&mut out.cutoff, pos as u32);
+                continue;
+            }
+            for (ord, (action, succ)) in succs.into_iter().enumerate() {
+                out.transitions += 1;
+                let probe = mode.probe(&succ);
+                let shard = &shards[(M::route(probe) >> (64 - SHARD_BITS)) as usize];
+                let order = pack(pos, ord);
+                {
+                    let mut guard = shard.lock().expect("shard lock");
+                    if M::seen_contains(&guard.seen, probe, &succ) {
+                        continue;
+                    }
+                    if let Some(p) = M::pending_mut(&mut guard.pending, probe, &succ) {
+                        if order < p.order {
+                            p.order = order;
+                            p.parent = *parent_id;
+                            p.action = action;
+                        }
+                        continue;
+                    }
+                }
+                // First discovery (so far) of this state: evaluate the
+                // properties outside the shard lock, then claim.
+                let violation = first_violation(properties, &succ);
+                let key = M::key(probe, &succ);
+                let claimed = {
+                    let mut guard = shard.lock().expect("shard lock");
+                    if let Some(p) = M::pending_mut(&mut guard.pending, probe, &succ) {
+                        // Another worker claimed it while we were checking
+                        // properties; keep the smaller discovery order.
+                        if order < p.order {
+                            p.order = order;
+                            p.parent = *parent_id;
+                            p.action = action;
+                        }
+                        false
+                    } else {
+                        guard.pending.insert(
+                            key.clone(),
+                            Pending {
+                                order,
+                                parent: *parent_id,
+                                action,
+                                state: succ,
+                            },
+                        );
+                        true
+                    }
+                };
+                if claimed {
+                    if let Some(name) = violation {
+                        violations
+                            .lock()
+                            .expect("violations lock")
+                            .push((key, name));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn level_bfs<TS, M>(
+    config: &CheckerConfig,
+    properties: &[Property<TS::State>],
+    ts: &TS,
+    threads: usize,
+    mode: &M,
+) -> Outcome<TS>
+where
+    TS: TransitionSystem,
+    M: Mode<TS>,
+{
+    let start = Instant::now();
+    let deadline = config.time_limit.map(|limit| start + limit);
+
+    let mut shards: Vec<Mutex<Shard<M::Key, TS>>> =
+        (0..NSHARDS).map(|_| Mutex::new(Shard::default())).collect();
+    // Parent links for trace reconstruction, indexed by state id.
+    let mut parents: Vec<Option<(u32, TS::Action)>> = Vec::new();
+    let mut states_count: usize = 0;
+    let mut transitions: usize = 0;
+
+    // Seed level 0 with the deduplicated initial states.
+    let mut frontier: Vec<(u32, TS::State)> = Vec::new();
+    for init in ts.initial_states() {
+        let probe = mode.probe(&init);
+        let shard = shards[(M::route(probe) >> (64 - SHARD_BITS)) as usize]
+            .get_mut()
+            .expect("shard lock");
+        if M::seen_contains(&shard.seen, probe, &init) {
+            continue;
+        }
+        shard.seen.insert(M::key(probe, &init));
+        let id = states_count as u32;
+        parents.push(None);
+        states_count += 1;
+        frontier.push((id, init));
+    }
+
+    // Check properties on initial states.
+    for (id, state) in &frontier {
+        if let Some(property) = first_violation(properties, state) {
+            return Outcome::Violated {
+                property,
+                trace: rebuild_trace(&parents, *id, state.clone()),
+                stats: Stats {
+                    states: states_count,
+                    transitions,
+                    depth: 0,
+                },
+            };
+        }
+    }
+
+    let mut level: usize = 0;
+    let mut deepest: usize = 0;
+    loop {
+        if frontier.is_empty() {
+            return Outcome::Verified(Stats {
+                states: states_count,
+                transitions,
+                depth: deepest,
+            });
+        }
+        deepest = level;
+        let expanding = level < config.max_depth;
+
+        // -- Parallel phase: expand the frontier -------------------------
+        let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let violations: Mutex<Vec<(M::Key, &'static str)>> = Mutex::new(Vec::new());
+        let workers = threads.min(frontier.len().div_ceil(BLOCK)).max(1);
+        let outs: Vec<WorkerOut> = if workers == 1 {
+            vec![expand_blocks(
+                mode,
+                ts,
+                properties,
+                &frontier,
+                &cursor,
+                &shards,
+                &violations,
+                expanding,
+                config.forbid_deadlock,
+                deadline,
+                &stop,
+            )]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            expand_blocks(
+                                mode,
+                                ts,
+                                properties,
+                                &frontier,
+                                &cursor,
+                                &shards,
+                                &violations,
+                                expanding,
+                                config.forbid_deadlock,
+                                deadline,
+                                &stop,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+        };
+
+        let mut deadlock: Option<u32> = None;
+        let mut cutoff: Option<u32> = None;
+        for out in &outs {
+            transitions += out.transitions;
+            if let Some(p) = out.deadlock {
+                min_pos(&mut deadlock, p);
+            }
+            if let Some(p) = out.cutoff {
+                min_pos(&mut cutoff, p);
+            }
+        }
+        if stop.load(Ordering::Relaxed) {
+            return Outcome::BoundReached {
+                bound: Bound::Time(config.time_limit.expect("stop implies time limit")),
+                stats: Stats {
+                    states: states_count,
+                    transitions,
+                    depth: level,
+                },
+            };
+        }
+
+        // -- Deterministic drain: assign ids in sequential discovery order
+        let viol_map: HashMap<M::Key, &'static str, FxBuild> = {
+            let list = violations.into_inner().expect("violations lock");
+            let mut map: HashMap<M::Key, &'static str, FxBuild> = HashMap::default();
+            for (k, name) in list {
+                map.entry(k).or_insert(name);
+            }
+            map
+        };
+        let mut entries: Vec<(usize, M::Key, Pending<TS>)> = Vec::new();
+        for (idx, shard) in shards.iter_mut().enumerate() {
+            let shard = shard.get_mut().expect("shard lock");
+            entries.extend(shard.pending.drain().map(|(k, p)| (idx, k, p)));
+        }
+        entries.sort_unstable_by_key(|(_, _, p)| p.order);
+
+        let mut next: Vec<(u32, TS::State)> = Vec::with_capacity(entries.len());
+        for (shard_idx, key, pending) in entries {
+            // Sequential semantics: a deadlocked state is reported when the
+            // scan reaches its frontier position — after the insertions of
+            // every earlier position, before those of later ones.
+            if let Some(dpos) = deadlock {
+                if dpos < (pending.order >> 32) as u32 {
+                    let (id, state) = &frontier[dpos as usize];
+                    return Outcome::Deadlock {
+                        trace: rebuild_trace(&parents, *id, state.clone()),
+                        stats: Stats {
+                            states: states_count,
+                            transitions,
+                            depth: level,
+                        },
+                    };
+                }
+            }
+            if states_count >= config.max_states {
+                return Outcome::BoundReached {
+                    bound: Bound::States(config.max_states),
+                    stats: Stats {
+                        states: states_count,
+                        transitions,
+                        depth: level,
+                    },
+                };
+            }
+            let id = states_count as u32;
+            parents.push(Some((pending.parent, pending.action)));
+            states_count += 1;
+            if let Some(&property) = viol_map.get(&key) {
+                return Outcome::Violated {
+                    property,
+                    trace: rebuild_trace(&parents, id, pending.state),
+                    stats: Stats {
+                        states: states_count,
+                        transitions,
+                        depth: level + 1,
+                    },
+                };
+            }
+            shards[shard_idx]
+                .get_mut()
+                .expect("shard lock")
+                .seen
+                .insert(key);
+            next.push((id, pending.state));
+        }
+
+        // Deadlock / depth-bound events past the last insertion.
+        match (deadlock, cutoff) {
+            (Some(dpos), cpos) if cpos.is_none_or(|c| dpos < c) => {
+                let (id, state) = &frontier[dpos as usize];
+                return Outcome::Deadlock {
+                    trace: rebuild_trace(&parents, *id, state.clone()),
+                    stats: Stats {
+                        states: states_count,
+                        transitions,
+                        depth: level,
+                    },
+                };
+            }
+            (_, Some(_)) => {
+                return Outcome::BoundReached {
+                    bound: Bound::Depth(config.max_depth),
+                    stats: Stats {
+                        states: states_count,
+                        transitions,
+                        depth: level,
+                    },
+                };
+            }
+            _ => {}
+        }
+
+        frontier = next;
+        level += 1;
+    }
+}

@@ -1,0 +1,107 @@
+//! Checker configuration: bounds, dedup mode and exploration strategy.
+
+use std::time::Duration;
+
+/// Bounds and dedup mode for a [`Checker`](crate::Checker) run.
+///
+/// Construct with struct-update syntax over [`Default`]:
+///
+/// ```
+/// use mc::CheckerConfig;
+///
+/// let cfg = CheckerConfig {
+///     max_states: 1_000_000,
+///     hash_compact: true,
+///     ..CheckerConfig::default()
+/// };
+/// assert_eq!(cfg.max_depth, usize::MAX);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckerConfig {
+    /// Cap on the number of distinct states to visit. Hitting it yields
+    /// [`Outcome::BoundReached`](crate::Outcome::BoundReached).
+    pub max_states: usize,
+    /// Cap on the BFS depth (levels beyond it are not expanded).
+    pub max_depth: usize,
+    /// Cap on wall-clock time, checked while exploring.
+    pub time_limit: Option<Duration>,
+    /// Treat states without successors as errors (useful for systems that
+    /// are supposed to run forever, like the collector model).
+    pub forbid_deadlock: bool,
+    /// Deduplicate on a 128-bit state fingerprint instead of the full
+    /// state, storing ~40 bytes per visited state instead of the state
+    /// itself — the classical hash-compact technique. Two distinct states
+    /// colliding on all 128 bits would be silently merged; for the state
+    /// counts this checker handles (≪ 2⁴⁰) the probability is below 2⁻⁴⁰,
+    /// and the mode is reserved for large sweeps whose results are
+    /// reported as hash-compacted.
+    pub hash_compact: bool,
+}
+
+impl Default for CheckerConfig {
+    /// No properties of its own, a generous state bound (64 million), no
+    /// depth/time bounds, deadlock allowed, exact dedup.
+    fn default() -> Self {
+        CheckerConfig {
+            max_states: 64_000_000,
+            max_depth: usize::MAX,
+            time_limit: None,
+            forbid_deadlock: false,
+            hash_compact: false,
+        }
+    }
+}
+
+/// How a [`Checker`](crate::Checker) explores the transition system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Exhaustive level-synchronous breadth-first search.
+    ///
+    /// `threads` is the number of worker threads expanding each frontier;
+    /// `0` means "use the machine's available parallelism". Every thread
+    /// count produces identical state counts, verdicts and (for
+    /// violations) a shortest counterexample: successors are claimed
+    /// through a sharded seen-set and ties are resolved by the
+    /// deterministic discovery order of the equivalent sequential search.
+    Bfs {
+        /// Worker threads per frontier (`0` = available parallelism).
+        threads: usize,
+    },
+    /// A seeded uniformly-random walk of at most `steps` transitions.
+    ///
+    /// Checks every property along the way. A completed walk yields
+    /// [`Outcome::BoundReached`](crate::Outcome::BoundReached) with
+    /// [`Bound::Steps`](crate::Bound::Steps) — a walk is inherently
+    /// bounded, never a verification. A stuck walk (state without
+    /// successors) yields [`Outcome::Deadlock`](crate::Outcome::Deadlock)
+    /// regardless of `forbid_deadlock`; a violation yields a real but
+    /// non-minimal counterexample trace.
+    RandomWalk {
+        /// Maximum number of transitions to take.
+        steps: usize,
+        /// Seed for the walk's SplitMix64 stream; equal seeds reproduce
+        /// the walk exactly.
+        seed: u64,
+    },
+}
+
+impl Default for Strategy {
+    /// Sequential breadth-first search.
+    fn default() -> Self {
+        Strategy::Bfs { threads: 1 }
+    }
+}
+
+impl Strategy {
+    /// Resolves `Bfs { threads: 0 }` to the machine's available
+    /// parallelism; other values pass through (minimum 1).
+    pub(crate) fn effective_threads(threads: usize) -> usize {
+        if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+    }
+}

@@ -7,15 +7,27 @@
 //! a set of named [`Property`] predicates in each state — the bounded,
 //! algorithmic counterpart of the paper's induction over reachable states.
 //!
-//! Exploration is breadth-first, so a violated property yields a
-//! *shortest* counterexample [`Trace`]. Bounds on states, depth and wall
-//! time are explicit: hitting one produces [`Outcome::BoundReached`], never
-//! a silent truncation.
+//! A [`Checker`] is configured by a [`CheckerConfig`] (bounds and dedup
+//! mode) and a [`Strategy`]:
+//!
+//! * [`Strategy::Bfs`] — breadth-first exploration, optionally across
+//!   several worker threads. Exploration is level-synchronous: each depth's
+//!   frontier is partitioned across workers, duplicate detection goes
+//!   through a sharded seen-set, and discovery order is resolved
+//!   deterministically, so every thread count produces the same state
+//!   counts, the same verdict and (for violations) the same *shortest*
+//!   counterexample [`Trace`].
+//! * [`Strategy::RandomWalk`] — a seeded uniformly-random simulation for
+//!   instances beyond exhaustive reach. A clean walk proves nothing, but a
+//!   violation is a real (if non-minimal) counterexample.
+//!
+//! Bounds on states, depth and wall time are explicit: hitting one produces
+//! [`Outcome::BoundReached`], never a silent truncation.
 //!
 //! # Example
 //!
 //! ```
-//! use mc::{Checker, Property, TransitionSystem};
+//! use mc::{Checker, CheckerConfig, Property, Strategy, TransitionSystem};
 //!
 //! /// Two processes each incrementing a shared counter twice.
 //! struct Counter;
@@ -40,7 +52,8 @@
 //!     }
 //! }
 //!
-//! let outcome = Checker::new()
+//! let outcome = Checker::with_config(CheckerConfig::default())
+//!     .strategy(Strategy::Bfs { threads: 2 })
 //!     .property(Property::new("counter-bounded", |s: &(u8, u8, u8)| s.2 <= 4))
 //!     .run(&Counter);
 //! assert!(outcome.is_verified());
@@ -50,66 +63,36 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::fmt;
-use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
-use std::time::{Duration, Instant};
+mod bfs;
+mod checker;
+mod config;
+mod hash;
+mod outcome;
+mod property;
+mod walk;
 
-/// A fast, non-cryptographic hasher (the FxHash multiply-rotate scheme used
-/// by rustc) for the duplicate-detection tables. Model states are large, so
-/// hashing speed dominates exploration throughput.
-#[derive(Default)]
-pub struct FxHasher(u64);
+use std::hash::Hash;
 
-impl Hasher for FxHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.write_u8(b);
-        }
-    }
-
-    fn write_u8(&mut self, v: u8) {
-        self.write_u64(u64::from(v));
-    }
-
-    fn write_u16(&mut self, v: u16) {
-        self.write_u64(u64::from(v));
-    }
-
-    fn write_u32(&mut self, v: u32) {
-        self.write_u64(u64::from(v));
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(SEED);
-    }
-
-    fn write_u128(&mut self, v: u128) {
-        self.write_u64(v as u64);
-        self.write_u64((v >> 64) as u64);
-    }
-
-    fn write_usize(&mut self, v: usize) {
-        self.write_u64(v as u64);
-    }
-}
-
-type FxBuild = BuildHasherDefault<FxHasher>;
+#[allow(deprecated)]
+pub use checker::{explore, random_walk, Checker};
+pub use config::{CheckerConfig, Strategy};
+pub use hash::FxHasher;
+#[allow(deprecated)]
+pub use outcome::{Bound, Outcome, Stats, Trace, WalkOutcome};
+pub use property::Property;
 
 /// A transition system to be explored.
 ///
 /// States must be hashable and comparable for duplicate detection; actions
-/// label the edges of counterexample traces.
-pub trait TransitionSystem {
+/// label the edges of counterexample traces. The `Sync` supertrait and the
+/// `Send + Sync` state bounds let [`Checker`] partition a BFS frontier
+/// across worker threads; systems built from plain data and shared
+/// (`Arc`-held) programs satisfy them automatically.
+pub trait TransitionSystem: Sync {
     /// A global state.
-    type State: Clone + Eq + Hash;
+    type State: Clone + Eq + Hash + Send + Sync;
     /// An edge label, used for printing traces.
-    type Action: Clone;
+    type Action: Clone + Send;
 
     /// The initial state(s).
     fn initial_states(&self) -> Vec<Self::State>;
@@ -118,842 +101,5 @@ pub trait TransitionSystem {
     fn successors(&self, state: &Self::State) -> Vec<(Self::Action, Self::State)>;
 }
 
-/// A named predicate expected to hold in every reachable state.
-///
-/// A property may bundle several sub-checks: the checking closure returns
-/// `None` when the state is fine and `Some(sub_name)` naming the first
-/// violated sub-check otherwise. Bundling lets expensive shared analysis
-/// (e.g. a heap reconstruction) happen once per state.
-pub struct Property<S> {
-    name: &'static str,
-    check: Box<dyn Fn(&S) -> Option<&'static str>>,
-}
-
-impl<S> Property<S> {
-    /// Creates a property from a name and a boolean predicate.
-    pub fn new(name: &'static str, check: impl Fn(&S) -> bool + 'static) -> Self {
-        Property {
-            name,
-            check: Box::new(move |s| if check(s) { None } else { Some(name) }),
-        }
-    }
-
-    /// Creates a bundled property: the closure returns the name of the
-    /// first violated sub-check, or `None` if all hold.
-    pub fn labeled(
-        name: &'static str,
-        check: impl Fn(&S) -> Option<&'static str> + 'static,
-    ) -> Self {
-        Property {
-            name,
-            check: Box::new(check),
-        }
-    }
-
-    /// The property's name.
-    pub fn name(&self) -> &'static str {
-        self.name
-    }
-
-    /// Evaluates the property on `state`.
-    pub fn holds(&self, state: &S) -> bool {
-        (self.check)(state).is_none()
-    }
-
-    /// Evaluates the property, returning the violated sub-check's name.
-    pub fn violation(&self, state: &S) -> Option<&'static str> {
-        (self.check)(state)
-    }
-}
-
-impl<S> fmt::Debug for Property<S> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Property({})", self.name)
-    }
-}
-
-/// Exploration statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct Stats {
-    /// Distinct states visited.
-    pub states: usize,
-    /// Transitions traversed (including those leading to already-seen
-    /// states).
-    pub transitions: usize,
-    /// Depth of the deepest visited state (BFS level).
-    pub depth: usize,
-}
-
-/// Which bound interrupted an exploration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Bound {
-    /// The state-count bound.
-    States(usize),
-    /// The depth bound.
-    Depth(usize),
-    /// The wall-clock bound.
-    Time(Duration),
-}
-
-impl fmt::Display for Bound {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Bound::States(n) => write!(f, "state bound ({n} states)"),
-            Bound::Depth(d) => write!(f, "depth bound ({d})"),
-            Bound::Time(t) => write!(f, "time bound ({t:?})"),
-        }
-    }
-}
-
-/// A counterexample: the actions leading from an initial state to the
-/// violating state, and the violating state itself.
-#[derive(Clone)]
-pub struct Trace<TS: TransitionSystem> {
-    /// Edge labels from an initial state to the violation, in order.
-    pub actions: Vec<TS::Action>,
-    /// The state in which the property failed.
-    pub state: TS::State,
-}
-
-impl<TS: TransitionSystem> fmt::Debug for Trace<TS>
-where
-    TS::State: fmt::Debug,
-    TS::Action: fmt::Debug,
-{
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Trace")
-            .field("actions", &self.actions)
-            .field("state", &self.state)
-            .finish()
-    }
-}
-
-/// The result of a [`Checker::run`].
-pub enum Outcome<TS: TransitionSystem> {
-    /// Every reachable state satisfies every property.
-    Verified(Stats),
-    /// A property failed; `trace` is a shortest counterexample.
-    Violated {
-        /// Name of the violated property.
-        property: &'static str,
-        /// A shortest counterexample.
-        trace: Trace<TS>,
-        /// Statistics at the point of violation.
-        stats: Stats,
-    },
-    /// An exploration bound was hit before the state space was exhausted.
-    /// All states visited so far satisfied all properties.
-    BoundReached {
-        /// The bound that fired.
-        bound: Bound,
-        /// Statistics at the point of interruption.
-        stats: Stats,
-    },
-    /// A state with no successors was found while deadlock was forbidden.
-    Deadlock {
-        /// Trace to the deadlocked state.
-        trace: Trace<TS>,
-        /// Statistics at the point of detection.
-        stats: Stats,
-    },
-}
-
-impl<TS: TransitionSystem> fmt::Debug for Outcome<TS>
-where
-    TS::State: fmt::Debug,
-    TS::Action: fmt::Debug,
-{
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Outcome::Verified(stats) => f.debug_tuple("Verified").field(stats).finish(),
-            Outcome::Violated {
-                property,
-                trace,
-                stats,
-            } => f
-                .debug_struct("Violated")
-                .field("property", property)
-                .field("trace", trace)
-                .field("stats", stats)
-                .finish(),
-            Outcome::BoundReached { bound, stats } => f
-                .debug_struct("BoundReached")
-                .field("bound", bound)
-                .field("stats", stats)
-                .finish(),
-            Outcome::Deadlock { trace, stats } => f
-                .debug_struct("Deadlock")
-                .field("trace", trace)
-                .field("stats", stats)
-                .finish(),
-        }
-    }
-}
-
-impl<TS: TransitionSystem> Outcome<TS> {
-    /// Whether the outcome is [`Outcome::Verified`].
-    pub fn is_verified(&self) -> bool {
-        matches!(self, Outcome::Verified(_))
-    }
-
-    /// Whether the outcome is a property violation.
-    pub fn is_violated(&self) -> bool {
-        matches!(self, Outcome::Violated { .. })
-    }
-
-    /// The exploration statistics, whatever the outcome.
-    pub fn stats(&self) -> Stats {
-        match self {
-            Outcome::Verified(s) => *s,
-            Outcome::Violated { stats, .. }
-            | Outcome::BoundReached { stats, .. }
-            | Outcome::Deadlock { stats, .. } => *stats,
-        }
-    }
-
-    /// The counterexample trace, if the outcome carries one.
-    pub fn trace(&self) -> Option<&Trace<TS>> {
-        match self {
-            Outcome::Violated { trace, .. } | Outcome::Deadlock { trace, .. } => Some(trace),
-            _ => None,
-        }
-    }
-
-    /// The name of the violated property, if any.
-    pub fn violated_property(&self) -> Option<&'static str> {
-        match self {
-            Outcome::Violated { property, .. } => Some(property),
-            _ => None,
-        }
-    }
-}
-
-/// The breadth-first explicit-state checker.
-///
-/// Configure with [`property`](Checker::property) and the bound setters,
-/// then [`run`](Checker::run).
-pub struct Checker<S> {
-    properties: Vec<Property<S>>,
-    max_states: usize,
-    max_depth: usize,
-    time_limit: Option<Duration>,
-    forbid_deadlock: bool,
-    hash_compact: bool,
-}
-
-impl<S> fmt::Debug for Checker<S> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Checker")
-            .field(
-                "properties",
-                &self.properties.iter().map(|p| p.name).collect::<Vec<_>>(),
-            )
-            .field("max_states", &self.max_states)
-            .field("max_depth", &self.max_depth)
-            .field("time_limit", &self.time_limit)
-            .field("forbid_deadlock", &self.forbid_deadlock)
-            .field("hash_compact", &self.hash_compact)
-            .finish()
-    }
-}
-
-impl<S> Default for Checker<S>
-where
-    S: Clone + Eq + Hash,
-{
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<S: Clone + Eq + Hash> Checker<S> {
-    /// Creates a checker with no properties, a generous default state bound
-    /// (64 million) and no depth/time bounds.
-    pub fn new() -> Self {
-        Checker {
-            properties: Vec::new(),
-            max_states: 64_000_000,
-            max_depth: usize::MAX,
-            time_limit: None,
-            forbid_deadlock: false,
-            hash_compact: false,
-        }
-    }
-
-    /// Adds a property to check in every reachable state.
-    #[must_use]
-    pub fn property(mut self, p: Property<S>) -> Self {
-        self.properties.push(p);
-        self
-    }
-
-    /// Caps the number of distinct states to visit.
-    #[must_use]
-    pub fn max_states(mut self, n: usize) -> Self {
-        self.max_states = n;
-        self
-    }
-
-    /// Caps the BFS depth.
-    #[must_use]
-    pub fn max_depth(mut self, d: usize) -> Self {
-        self.max_depth = d;
-        self
-    }
-
-    /// Caps wall-clock time.
-    #[must_use]
-    pub fn time_limit(mut self, t: Duration) -> Self {
-        self.time_limit = Some(t);
-        self
-    }
-
-    /// Treats states without successors as errors (useful for systems that
-    /// are supposed to run forever, like the collector model).
-    #[must_use]
-    pub fn forbid_deadlock(mut self, forbid: bool) -> Self {
-        self.forbid_deadlock = forbid;
-        self
-    }
-
-    /// Deduplicate on a 128-bit state fingerprint instead of the full
-    /// state, storing ~40 bytes per visited state instead of the state
-    /// itself — the classical hash-compact technique. Two distinct states
-    /// colliding on all 128 bits would be silently merged; for the state
-    /// counts this checker handles (≪ 2⁴⁰) the probability is below
-    /// 2⁻⁴⁰, and the mode is reserved for large sweeps whose results are
-    /// reported as hash-compacted.
-    #[must_use]
-    pub fn hash_compact(mut self, compact: bool) -> Self {
-        self.hash_compact = compact;
-        self
-    }
-
-    /// Explores every reachable state of `ts` breadth-first, checking all
-    /// properties in every state (including initial states).
-    pub fn run<TS>(&self, ts: &TS) -> Outcome<TS>
-    where
-        TS: TransitionSystem<State = S>,
-    {
-        if self.hash_compact {
-            return self.run_compact(ts);
-        }
-        let start = Instant::now();
-        // index ← state; parallel arrays hold parent links for traces.
-        let mut index: HashMap<S, u32, FxBuild> = HashMap::default();
-        let mut parents: Vec<Option<(u32, TS::Action)>> = Vec::new();
-        let mut states: Vec<S> = Vec::new();
-        let mut depths: Vec<u32> = Vec::new();
-        let mut queue: VecDeque<u32> = VecDeque::new();
-        let mut stats = Stats::default();
-
-        let rebuild_trace = |parents: &Vec<Option<(u32, TS::Action)>>,
-                             states: &Vec<S>,
-                             mut at: u32|
-         -> Trace<TS> {
-            let state = states[at as usize].clone();
-            let mut actions = Vec::new();
-            while let Some((p, a)) = &parents[at as usize] {
-                actions.push(a.clone());
-                at = *p;
-            }
-            actions.reverse();
-            Trace { actions, state }
-        };
-
-        for init in ts.initial_states() {
-            if index.contains_key(&init) {
-                continue;
-            }
-            let id = states.len() as u32;
-            index.insert(init.clone(), id);
-            states.push(init);
-            parents.push(None);
-            depths.push(0);
-            queue.push_back(id);
-        }
-
-        // Check properties on initial states.
-        for &id in queue.iter() {
-            for p in &self.properties {
-                if let Some(violated) = p.violation(&states[id as usize]) {
-                    stats.states = states.len();
-                    return Outcome::Violated {
-                        property: violated,
-                        trace: rebuild_trace(&parents, &states, id),
-                        stats,
-                    };
-                }
-            }
-        }
-
-        while let Some(id) = queue.pop_front() {
-            stats.states = states.len();
-            stats.depth = stats.depth.max(depths[id as usize] as usize);
-            if let Some(limit) = self.time_limit {
-                if start.elapsed() > limit {
-                    return Outcome::BoundReached {
-                        bound: Bound::Time(limit),
-                        stats,
-                    };
-                }
-            }
-            let state = states[id as usize].clone();
-            let depth = depths[id as usize];
-            let succs = ts.successors(&state);
-            if succs.is_empty() && self.forbid_deadlock {
-                return Outcome::Deadlock {
-                    trace: rebuild_trace(&parents, &states, id),
-                    stats,
-                };
-            }
-            if depth as usize >= self.max_depth {
-                // Do not expand past the depth bound; the bound counts as
-                // reached only if expansion was actually cut off.
-                if !succs.is_empty() {
-                    return Outcome::BoundReached {
-                        bound: Bound::Depth(self.max_depth),
-                        stats,
-                    };
-                }
-                continue;
-            }
-            for (action, succ) in succs {
-                stats.transitions += 1;
-                if index.contains_key(&succ) {
-                    continue;
-                }
-                let sid = states.len() as u32;
-                if sid as usize >= self.max_states {
-                    stats.states = states.len();
-                    return Outcome::BoundReached {
-                        bound: Bound::States(self.max_states),
-                        stats,
-                    };
-                }
-                index.insert(succ.clone(), sid);
-                states.push(succ);
-                parents.push(Some((id, action)));
-                depths.push(depth + 1);
-                for p in &self.properties {
-                    if let Some(violated) = p.violation(&states[sid as usize]) {
-                        stats.states = states.len();
-                        stats.depth = stats.depth.max(depth as usize + 1);
-                        return Outcome::Violated {
-                            property: violated,
-                            trace: rebuild_trace(&parents, &states, sid),
-                            stats,
-                        };
-                    }
-                }
-                queue.push_back(sid);
-            }
-        }
-        stats.states = states.len();
-        Outcome::Verified(stats)
-    }
-}
-
-impl<S: Clone + Eq + Hash> Checker<S> {
-    /// The hash-compact exploration: dedup on 128-bit fingerprints; only
-    /// parent links and actions are stored per visited state, and the BFS
-    /// frontier holds the actual states.
-    fn run_compact<TS>(&self, ts: &TS) -> Outcome<TS>
-    where
-        TS: TransitionSystem<State = S>,
-    {
-        let start = Instant::now();
-        let h1 = std::collections::hash_map::RandomState::new();
-        let h2 = std::collections::hash_map::RandomState::new();
-        let fingerprint = |s: &S| -> u128 {
-            let a = h1.hash_one(s);
-            let b = h2.hash_one(s);
-            (u128::from(a) << 64) | u128::from(b)
-        };
-
-        let mut seen: HashSet<u128, FxBuild> = HashSet::default();
-        // Per-id metadata for trace reconstruction.
-        let mut parents: Vec<Option<(u32, TS::Action)>> = Vec::new();
-        let mut queue: VecDeque<(u32, u32, S)> = VecDeque::new(); // (id, depth, state)
-        let mut stats = Stats::default();
-
-        let rebuild = |parents: &Vec<Option<(u32, TS::Action)>>, mut at: u32, state: S| {
-            let mut actions = Vec::new();
-            while let Some((p, a)) = &parents[at as usize] {
-                actions.push(a.clone());
-                at = *p;
-            }
-            actions.reverse();
-            Trace { actions, state }
-        };
-
-        for init in ts.initial_states() {
-            if !seen.insert(fingerprint(&init)) {
-                continue;
-            }
-            let id = parents.len() as u32;
-            parents.push(None);
-            for p in &self.properties {
-                if let Some(violated) = p.violation(&init) {
-                    stats.states = parents.len();
-                    return Outcome::Violated {
-                        property: violated,
-                        trace: rebuild(&parents, id, init),
-                        stats,
-                    };
-                }
-            }
-            queue.push_back((id, 0, init));
-        }
-
-        while let Some((id, depth, state)) = queue.pop_front() {
-            stats.states = parents.len();
-            stats.depth = stats.depth.max(depth as usize);
-            if let Some(limit) = self.time_limit {
-                if start.elapsed() > limit {
-                    return Outcome::BoundReached {
-                        bound: Bound::Time(limit),
-                        stats,
-                    };
-                }
-            }
-            let succs = ts.successors(&state);
-            if succs.is_empty() && self.forbid_deadlock {
-                return Outcome::Deadlock {
-                    trace: rebuild(&parents, id, state),
-                    stats,
-                };
-            }
-            if depth as usize >= self.max_depth {
-                if !succs.is_empty() {
-                    return Outcome::BoundReached {
-                        bound: Bound::Depth(self.max_depth),
-                        stats,
-                    };
-                }
-                continue;
-            }
-            for (action, succ) in succs {
-                stats.transitions += 1;
-                if !seen.insert(fingerprint(&succ)) {
-                    continue;
-                }
-                let sid = parents.len() as u32;
-                if sid as usize >= self.max_states {
-                    stats.states = parents.len();
-                    return Outcome::BoundReached {
-                        bound: Bound::States(self.max_states),
-                        stats,
-                    };
-                }
-                parents.push(Some((id, action)));
-                for p in &self.properties {
-                    if let Some(violated) = p.violation(&succ) {
-                        stats.states = parents.len();
-                        stats.depth = stats.depth.max(depth as usize + 1);
-                        return Outcome::Violated {
-                            property: violated,
-                            trace: rebuild(&parents, sid, succ),
-                            stats,
-                        };
-                    }
-                }
-                queue.push_back((sid, depth + 1, succ));
-            }
-        }
-        stats.states = parents.len();
-        Outcome::Verified(stats)
-    }
-}
-
-/// Convenience: explore `ts` exhaustively with no properties and return the
-/// statistics (state-space sizing).
-pub fn explore<TS>(ts: &TS) -> Stats
-where
-    TS: TransitionSystem,
-    TS::State: Clone + Eq + Hash,
-{
-    Checker::new().run(ts).stats()
-}
-
-/// The result of a random walk.
-pub enum WalkOutcome<TS: TransitionSystem> {
-    /// The walk completed `steps` transitions without violating anything.
-    Completed {
-        /// Transitions taken.
-        steps: usize,
-    },
-    /// A property failed along the walk (the trace is the walk prefix —
-    /// *not* minimal, unlike the checker's BFS counterexamples).
-    Violated {
-        /// Name of the violated property.
-        property: &'static str,
-        /// The walk up to and including the violating state.
-        trace: Trace<TS>,
-    },
-    /// The walk reached a state with no successors.
-    Stuck {
-        /// Transitions taken before getting stuck.
-        steps: usize,
-    },
-}
-
-impl<TS: TransitionSystem> WalkOutcome<TS> {
-    /// Whether the walk finished without violation (completed or stuck).
-    pub fn is_clean(&self) -> bool {
-        !matches!(self, WalkOutcome::Violated { .. })
-    }
-}
-
-/// A random-walk simulator: takes up to `max_steps` uniformly random
-/// transitions from a random initial state, checking `properties` at every
-/// state. A cheap smoke test for instances whose full state space is out
-/// of exhaustive reach — a clean walk proves nothing, but a violation is a
-/// real (if non-minimal) counterexample.
-///
-/// Determinism: the walk is driven by the caller's `seed` (a simple
-/// SplitMix64 stream), so failures are reproducible.
-pub fn random_walk<TS>(
-    ts: &TS,
-    properties: &[Property<TS::State>],
-    max_steps: usize,
-    seed: u64,
-) -> WalkOutcome<TS>
-where
-    TS: TransitionSystem,
-    TS::State: Clone + Eq + Hash,
-{
-    let mut rng = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut next_u64 = move || {
-        rng = rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = rng;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    };
-
-    let inits = ts.initial_states();
-    assert!(!inits.is_empty(), "no initial states");
-    let pick = next_u64() as usize % inits.len();
-    let mut state = inits.into_iter().nth(pick).expect("picked in range");
-    let mut actions: Vec<TS::Action> = Vec::new();
-
-    let check = |state: &TS::State, actions: &[TS::Action]| -> Option<WalkOutcome<TS>> {
-        for p in properties {
-            if let Some(violated) = p.violation(state) {
-                return Some(WalkOutcome::Violated {
-                    property: violated,
-                    trace: Trace {
-                        actions: actions.to_vec(),
-                        state: state.clone(),
-                    },
-                });
-            }
-        }
-        None
-    };
-
-    if let Some(v) = check(&state, &actions) {
-        return v;
-    }
-    for step in 0..max_steps {
-        let succs = ts.successors(&state);
-        if succs.is_empty() {
-            return WalkOutcome::Stuck { steps: step };
-        }
-        let pick = next_u64() as usize % succs.len();
-        let (action, next) = succs.into_iter().nth(pick).expect("picked in range");
-        actions.push(action);
-        state = next;
-        if let Some(v) = check(&state, &actions) {
-            return v;
-        }
-    }
-    WalkOutcome::Completed { steps: max_steps }
-}
-
 #[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// A token ring: `n` processes pass a token; a counter tracks hops.
-    struct Ring {
-        n: u8,
-        max_hops: u8,
-    }
-
-    impl TransitionSystem for Ring {
-        type State = (u8, u8); // (token holder, hops)
-        type Action = u8;
-
-        fn initial_states(&self) -> Vec<Self::State> {
-            vec![(0, 0)]
-        }
-
-        fn successors(&self, s: &Self::State) -> Vec<(u8, Self::State)> {
-            if s.1 >= self.max_hops {
-                return Vec::new();
-            }
-            vec![(s.0, ((s.0 + 1) % self.n, s.1 + 1))]
-        }
-    }
-
-    #[test]
-    fn verified_counts_states() {
-        let ring = Ring { n: 3, max_hops: 6 };
-        let out = Checker::new()
-            .property(Property::new("hops-bounded", |s: &(u8, u8)| s.1 <= 6))
-            .run(&ring);
-        assert!(out.is_verified());
-        assert_eq!(out.stats().states, 7);
-        assert_eq!(out.stats().depth, 6);
-    }
-
-    #[test]
-    fn violation_yields_shortest_trace() {
-        let ring = Ring { n: 3, max_hops: 10 };
-        let out = Checker::new()
-            .property(Property::new("never-holder-2", |s: &(u8, u8)| s.0 != 2))
-            .run(&ring);
-        assert!(out.is_violated());
-        assert_eq!(out.violated_property(), Some("never-holder-2"));
-        let trace = out.trace().unwrap();
-        // Holder 2 is first reached after exactly two hops: 0 → 1 → 2.
-        assert_eq!(trace.actions, vec![0, 1]);
-        assert_eq!(trace.state, (2, 2));
-    }
-
-    #[test]
-    fn violation_in_initial_state_has_empty_trace() {
-        let ring = Ring { n: 3, max_hops: 2 };
-        let out = Checker::new()
-            .property(Property::new("never-start", |s: &(u8, u8)| s.1 > 0))
-            .run(&ring);
-        let trace = out.trace().unwrap();
-        assert!(trace.actions.is_empty());
-        assert_eq!(trace.state, (0, 0));
-    }
-
-    #[test]
-    fn state_bound_interrupts() {
-        let ring = Ring { n: 3, max_hops: 100 };
-        let out = Checker::new().max_states(5).run(&ring);
-        match out {
-            Outcome::BoundReached {
-                bound: Bound::States(5),
-                stats,
-            } => assert!(stats.states <= 5),
-            other => panic!("expected state bound, got {:?}", other.stats()),
-        }
-    }
-
-    #[test]
-    fn depth_bound_interrupts() {
-        let ring = Ring { n: 3, max_hops: 100 };
-        let out = Checker::new().max_depth(4).run(&ring);
-        assert!(matches!(
-            out,
-            Outcome::BoundReached {
-                bound: Bound::Depth(4),
-                ..
-            }
-        ));
-    }
-
-    #[test]
-    fn deadlock_detection() {
-        let ring = Ring { n: 3, max_hops: 2 };
-        let out = Checker::new().forbid_deadlock(true).run(&ring);
-        match out {
-            Outcome::Deadlock { trace, .. } => assert_eq!(trace.state.1, 2),
-            _ => panic!("expected deadlock"),
-        }
-        // Without the flag the same system verifies.
-        assert!(Checker::new().run(&ring).is_verified());
-    }
-
-    #[test]
-    fn explore_counts_without_properties() {
-        let ring = Ring { n: 4, max_hops: 8 };
-        let stats = explore(&ring);
-        assert_eq!(stats.states, 9);
-        assert_eq!(stats.transitions, 8);
-    }
-
-    /// Branching system to exercise duplicate detection.
-    struct Diamond;
-
-    impl TransitionSystem for Diamond {
-        type State = u8;
-        type Action = &'static str;
-
-        fn initial_states(&self) -> Vec<u8> {
-            vec![0]
-        }
-
-        fn successors(&self, s: &u8) -> Vec<(&'static str, u8)> {
-            match s {
-                0 => vec![("l", 1), ("r", 2)],
-                1 | 2 => vec![("join", 3)],
-                _ => vec![],
-            }
-        }
-    }
-
-    #[test]
-    fn duplicates_are_merged() {
-        let stats = explore(&Diamond);
-        assert_eq!(stats.states, 4);
-        assert_eq!(stats.transitions, 4);
-    }
-
-    #[test]
-    fn hash_compact_agrees_with_exact_mode() {
-        let ring = Ring { n: 5, max_hops: 20 };
-        let exact = Checker::new().run(&ring).stats();
-        let compact = Checker::new().hash_compact(true).run(&ring).stats();
-        assert_eq!(exact.states, compact.states);
-        assert_eq!(exact.transitions, compact.transitions);
-
-        let out = Checker::new()
-            .hash_compact(true)
-            .property(Property::new("never-holder-2", |s: &(u8, u8)| s.0 != 2))
-            .run(&ring);
-        assert!(out.is_violated());
-        assert_eq!(out.trace().unwrap().actions, vec![0, 1]);
-    }
-
-    #[test]
-    fn random_walks_are_reproducible_and_find_violations() {
-        let ring = Ring { n: 3, max_hops: 50 };
-        let bad = [Property::new("never-holder-2", |s: &(u8, u8)| s.0 != 2)];
-        let w1 = random_walk(&ring, &bad, 100, 42);
-        let w2 = random_walk(&ring, &bad, 100, 42);
-        match (&w1, &w2) {
-            (
-                WalkOutcome::Violated { trace: t1, .. },
-                WalkOutcome::Violated { trace: t2, .. },
-            ) => assert_eq!(t1.actions.len(), t2.actions.len(), "same seed, same walk"),
-            _ => panic!("the ring walk always reaches holder 2"),
-        }
-        // A clean property: walk completes or gets stuck at the hop cap.
-        let good = [Property::new("hops-bounded", |s: &(u8, u8)| s.1 <= 50)];
-        assert!(random_walk(&ring, &good, 100, 7).is_clean());
-    }
-
-    #[test]
-    fn multiple_initial_states_are_deduped() {
-        struct TwoInits;
-        impl TransitionSystem for TwoInits {
-            type State = u8;
-            type Action = ();
-            fn initial_states(&self) -> Vec<u8> {
-                vec![1, 1, 2]
-            }
-            fn successors(&self, _: &u8) -> Vec<((), u8)> {
-                vec![]
-            }
-        }
-        assert_eq!(explore(&TwoInits).states, 2);
-    }
-}
+mod tests;

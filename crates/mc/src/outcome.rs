@@ -1,0 +1,255 @@
+//! Results of a checker run: statistics, bounds, traces and verdicts.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::TransitionSystem;
+
+/// Exploration statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions traversed (including those leading to already-seen
+    /// states).
+    pub transitions: usize,
+    /// Depth of the deepest visited state (BFS level), or steps taken by a
+    /// random walk.
+    pub depth: usize,
+}
+
+/// Which bound interrupted an exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// The state-count bound.
+    States(usize),
+    /// The depth bound.
+    Depth(usize),
+    /// The wall-clock bound.
+    Time(Duration),
+    /// A random walk completed its step budget without a violation.
+    Steps(usize),
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::States(n) => write!(f, "state bound ({n} states)"),
+            Bound::Depth(d) => write!(f, "depth bound ({d})"),
+            Bound::Time(t) => write!(f, "time bound ({t:?})"),
+            Bound::Steps(n) => write!(f, "step bound ({n} steps)"),
+        }
+    }
+}
+
+/// A counterexample: the actions leading from an initial state to the
+/// violating state, and the violating state itself.
+#[derive(Clone)]
+pub struct Trace<TS: TransitionSystem> {
+    /// Edge labels from an initial state to the violation, in order.
+    pub actions: Vec<TS::Action>,
+    /// The state in which the property failed.
+    pub state: TS::State,
+}
+
+impl<TS: TransitionSystem> fmt::Debug for Trace<TS>
+where
+    TS::State: fmt::Debug,
+    TS::Action: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Trace")
+            .field("actions", &self.actions)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+/// The result of a [`Checker::run`](crate::Checker::run).
+pub enum Outcome<TS: TransitionSystem> {
+    /// Every reachable state satisfies every property.
+    Verified(Stats),
+    /// A property failed; under [`Strategy::Bfs`](crate::Strategy::Bfs)
+    /// `trace` is a shortest counterexample (a random walk's trace is the
+    /// walk prefix, not minimal).
+    Violated {
+        /// Name of the violated property.
+        property: &'static str,
+        /// The counterexample.
+        trace: Trace<TS>,
+        /// Statistics at the point of violation.
+        stats: Stats,
+    },
+    /// An exploration bound was hit before the state space was exhausted.
+    /// All states visited so far satisfied all properties.
+    BoundReached {
+        /// The bound that fired.
+        bound: Bound,
+        /// Statistics at the point of interruption.
+        stats: Stats,
+    },
+    /// A state with no successors was found while deadlock was forbidden
+    /// (or a random walk got stuck).
+    Deadlock {
+        /// Trace to the deadlocked state.
+        trace: Trace<TS>,
+        /// Statistics at the point of detection.
+        stats: Stats,
+    },
+}
+
+impl<TS: TransitionSystem> fmt::Debug for Outcome<TS>
+where
+    TS::State: fmt::Debug,
+    TS::Action: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Verified(stats) => f.debug_tuple("Verified").field(stats).finish(),
+            Outcome::Violated {
+                property,
+                trace,
+                stats,
+            } => f
+                .debug_struct("Violated")
+                .field("property", property)
+                .field("trace", trace)
+                .field("stats", stats)
+                .finish(),
+            Outcome::BoundReached { bound, stats } => f
+                .debug_struct("BoundReached")
+                .field("bound", bound)
+                .field("stats", stats)
+                .finish(),
+            Outcome::Deadlock { trace, stats } => f
+                .debug_struct("Deadlock")
+                .field("trace", trace)
+                .field("stats", stats)
+                .finish(),
+        }
+    }
+}
+
+impl<TS: TransitionSystem> Outcome<TS> {
+    /// Whether the outcome is [`Outcome::Verified`].
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Outcome::Verified(_))
+    }
+
+    /// Whether the outcome is a property violation.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, Outcome::Violated { .. })
+    }
+
+    /// The exploration statistics, whatever the outcome.
+    pub fn stats(&self) -> Stats {
+        match self {
+            Outcome::Verified(s) => *s,
+            Outcome::Violated { stats, .. }
+            | Outcome::BoundReached { stats, .. }
+            | Outcome::Deadlock { stats, .. } => *stats,
+        }
+    }
+
+    /// The counterexample trace, if the outcome carries one.
+    pub fn trace(&self) -> Option<&Trace<TS>> {
+        match self {
+            Outcome::Violated { trace, .. } | Outcome::Deadlock { trace, .. } => Some(trace),
+            _ => None,
+        }
+    }
+
+    /// The name of the violated property, if any.
+    pub fn violated_property(&self) -> Option<&'static str> {
+        match self {
+            Outcome::Violated { property, .. } => Some(property),
+            _ => None,
+        }
+    }
+
+    /// The one-line verdict: `VERIFIED`, `VIOLATED <property>`,
+    /// `BOUNDED (<bound>)` or `DEADLOCK`.
+    pub fn verdict(&self) -> String {
+        match self {
+            Outcome::Verified(_) => "VERIFIED".to_string(),
+            Outcome::Violated { property, .. } => format!("VIOLATED {property}"),
+            Outcome::BoundReached { bound, .. } => format!("BOUNDED ({bound})"),
+            Outcome::Deadlock { .. } => "DEADLOCK".to_string(),
+        }
+    }
+
+    /// The human-readable verdict + statistics + trace block, with the
+    /// counterexample (if any) rendered by `render_trace`. Use this when
+    /// the model has a prettier trace renderer than the raw action labels
+    /// (e.g. `GcModel::format_trace`); otherwise see [`Outcome::report`].
+    pub fn report_with(&self, render_trace: impl FnOnce(&Trace<TS>) -> String) -> String {
+        let stats = self.stats();
+        let mut out = format!(
+            "verdict: {}\nstates: {}  transitions: {}  depth: {}\n",
+            self.verdict(),
+            stats.states,
+            stats.transitions,
+            stats.depth
+        );
+        if let Some(trace) = self.trace() {
+            let _ = writeln!(out, "counterexample ({} steps):", trace.actions.len());
+            let rendered = render_trace(trace);
+            out.push_str(&rendered);
+            if !rendered.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// The human-readable verdict + statistics + trace block, rendering
+    /// counterexample actions one per line via their `Display`.
+    pub fn report(&self) -> String
+    where
+        TS::Action: fmt::Display,
+    {
+        self.report_with(|trace| {
+            let mut out = String::new();
+            for (i, action) in trace.actions.iter().enumerate() {
+                let _ = writeln!(out, "{i:4}. {action}");
+            }
+            out
+        })
+    }
+}
+
+/// The result of a random walk, as returned by the deprecated
+/// [`random_walk`](crate::random_walk) shim.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Strategy::RandomWalk` with `Checker::run`, which reports a unified `Outcome`"
+)]
+pub enum WalkOutcome<TS: TransitionSystem> {
+    /// The walk completed `steps` transitions without violating anything.
+    Completed {
+        /// Transitions taken.
+        steps: usize,
+    },
+    /// A property failed along the walk (the trace is the walk prefix —
+    /// *not* minimal, unlike the checker's BFS counterexamples).
+    Violated {
+        /// Name of the violated property.
+        property: &'static str,
+        /// The walk up to and including the violating state.
+        trace: Trace<TS>,
+    },
+    /// The walk reached a state with no successors.
+    Stuck {
+        /// Transitions taken before getting stuck.
+        steps: usize,
+    },
+}
+
+#[allow(deprecated)]
+impl<TS: TransitionSystem> WalkOutcome<TS> {
+    /// Whether the walk finished without violation (completed or stuck).
+    pub fn is_clean(&self) -> bool {
+        !matches!(self, WalkOutcome::Violated { .. })
+    }
+}

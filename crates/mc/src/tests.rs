@@ -1,0 +1,430 @@
+use super::*;
+
+/// A token ring: `n` processes pass a token; a counter tracks hops.
+struct Ring {
+    n: u8,
+    max_hops: u8,
+}
+
+impl TransitionSystem for Ring {
+    type State = (u8, u8); // (token holder, hops)
+    type Action = u8;
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        vec![(0, 0)]
+    }
+
+    fn successors(&self, s: &Self::State) -> Vec<(u8, Self::State)> {
+        if s.1 >= self.max_hops {
+            return Vec::new();
+        }
+        vec![(s.0, ((s.0 + 1) % self.n, s.1 + 1))]
+    }
+}
+
+#[test]
+fn verified_counts_states() {
+    let ring = Ring { n: 3, max_hops: 6 };
+    let out = Checker::new()
+        .property(Property::new("hops-bounded", |s: &(u8, u8)| s.1 <= 6))
+        .run(&ring);
+    assert!(out.is_verified());
+    assert_eq!(out.stats().states, 7);
+    assert_eq!(out.stats().depth, 6);
+}
+
+#[test]
+fn violation_yields_shortest_trace() {
+    let ring = Ring { n: 3, max_hops: 10 };
+    let out = Checker::new()
+        .property(Property::new("never-holder-2", |s: &(u8, u8)| s.0 != 2))
+        .run(&ring);
+    assert!(out.is_violated());
+    assert_eq!(out.violated_property(), Some("never-holder-2"));
+    let trace = out.trace().unwrap();
+    // Holder 2 is first reached after exactly two hops: 0 → 1 → 2.
+    assert_eq!(trace.actions, vec![0, 1]);
+    assert_eq!(trace.state, (2, 2));
+}
+
+#[test]
+fn violation_in_initial_state_has_empty_trace() {
+    let ring = Ring { n: 3, max_hops: 2 };
+    let out = Checker::new()
+        .property(Property::new("never-start", |s: &(u8, u8)| s.1 > 0))
+        .run(&ring);
+    let trace = out.trace().unwrap();
+    assert!(trace.actions.is_empty());
+    assert_eq!(trace.state, (0, 0));
+}
+
+#[test]
+fn state_bound_interrupts() {
+    let ring = Ring {
+        n: 3,
+        max_hops: 100,
+    };
+    let out = Checker::with_config(CheckerConfig {
+        max_states: 5,
+        ..CheckerConfig::default()
+    })
+    .run(&ring);
+    match out {
+        Outcome::BoundReached {
+            bound: Bound::States(5),
+            stats,
+        } => assert!(stats.states <= 5),
+        other => panic!("expected state bound, got {:?}", other.stats()),
+    }
+}
+
+#[test]
+fn depth_bound_interrupts() {
+    let ring = Ring {
+        n: 3,
+        max_hops: 100,
+    };
+    let out = Checker::with_config(CheckerConfig {
+        max_depth: 4,
+        ..CheckerConfig::default()
+    })
+    .run(&ring);
+    assert!(matches!(
+        out,
+        Outcome::BoundReached {
+            bound: Bound::Depth(4),
+            ..
+        }
+    ));
+}
+
+#[test]
+fn deadlock_detection() {
+    let ring = Ring { n: 3, max_hops: 2 };
+    let out = Checker::with_config(CheckerConfig {
+        forbid_deadlock: true,
+        ..CheckerConfig::default()
+    })
+    .run(&ring);
+    match out {
+        Outcome::Deadlock { trace, .. } => assert_eq!(trace.state.1, 2),
+        _ => panic!("expected deadlock"),
+    }
+    // Without the flag the same system verifies.
+    assert!(Checker::new().run(&ring).is_verified());
+}
+
+#[test]
+fn propertyless_run_counts_states() {
+    let ring = Ring { n: 4, max_hops: 8 };
+    let stats = Checker::new().run(&ring).stats();
+    assert_eq!(stats.states, 9);
+    assert_eq!(stats.transitions, 8);
+}
+
+/// Branching system to exercise duplicate detection.
+struct Diamond;
+
+impl TransitionSystem for Diamond {
+    type State = u8;
+    type Action = &'static str;
+
+    fn initial_states(&self) -> Vec<u8> {
+        vec![0]
+    }
+
+    fn successors(&self, s: &u8) -> Vec<(&'static str, u8)> {
+        match s {
+            0 => vec![("l", 1), ("r", 2)],
+            1 | 2 => vec![("join", 3)],
+            _ => vec![],
+        }
+    }
+}
+
+#[test]
+fn duplicates_are_merged() {
+    let stats = Checker::new().run(&Diamond).stats();
+    assert_eq!(stats.states, 4);
+    assert_eq!(stats.transitions, 4);
+}
+
+#[test]
+fn hash_compact_agrees_with_exact_mode() {
+    let ring = Ring { n: 5, max_hops: 20 };
+    let exact = Checker::new().run(&ring).stats();
+    let compact = Checker::with_config(CheckerConfig {
+        hash_compact: true,
+        ..CheckerConfig::default()
+    })
+    .run(&ring)
+    .stats();
+    assert_eq!(exact.states, compact.states);
+    assert_eq!(exact.transitions, compact.transitions);
+
+    let out = Checker::with_config(CheckerConfig {
+        hash_compact: true,
+        ..CheckerConfig::default()
+    })
+    .property(Property::new("never-holder-2", |s: &(u8, u8)| s.0 != 2))
+    .run(&ring);
+    assert!(out.is_violated());
+    assert_eq!(out.trace().unwrap().actions, vec![0, 1]);
+}
+
+#[test]
+fn random_walks_are_reproducible_and_find_violations() {
+    let ring = Ring { n: 3, max_hops: 50 };
+    let walk = |seed| {
+        Checker::new()
+            .strategy(Strategy::RandomWalk { steps: 100, seed })
+            .property(Property::new("never-holder-2", |s: &(u8, u8)| s.0 != 2))
+            .run(&ring)
+    };
+    let (w1, w2) = (walk(42), walk(42));
+    match (&w1, &w2) {
+        (Outcome::Violated { trace: t1, .. }, Outcome::Violated { trace: t2, .. }) => {
+            assert_eq!(t1.actions.len(), t2.actions.len(), "same seed, same walk")
+        }
+        _ => panic!("the ring walk always reaches holder 2"),
+    }
+    // A clean property: the walk hits the hop cap and gets stuck.
+    let good = Checker::new()
+        .strategy(Strategy::RandomWalk {
+            steps: 100,
+            seed: 7,
+        })
+        .property(Property::new("hops-bounded", |s: &(u8, u8)| s.1 <= 50))
+        .run(&ring);
+    assert!(matches!(good, Outcome::Deadlock { .. }));
+    // With a larger cap the walk completes its step budget.
+    let long_ring = Ring {
+        n: 3,
+        max_hops: 200,
+    };
+    let done = Checker::new()
+        .strategy(Strategy::RandomWalk {
+            steps: 100,
+            seed: 7,
+        })
+        .run(&long_ring);
+    assert!(matches!(
+        done,
+        Outcome::BoundReached {
+            bound: Bound::Steps(100),
+            ..
+        }
+    ));
+}
+
+#[test]
+fn multiple_initial_states_are_deduped() {
+    struct TwoInits;
+    impl TransitionSystem for TwoInits {
+        type State = u8;
+        type Action = ();
+        fn initial_states(&self) -> Vec<u8> {
+            vec![1, 1, 2]
+        }
+        fn successors(&self, _: &u8) -> Vec<((), u8)> {
+            vec![]
+        }
+    }
+    assert_eq!(Checker::new().run(&TwoInits).stats().states, 2);
+}
+
+// --- Parallel BFS: thread-count invariance ------------------------------
+
+/// A wide branching system with heavy duplicate merging: states are
+/// `(step, value)` where several paths reach the same value, so parallel
+/// workers race on claims every level.
+struct Mesh {
+    depth: u16,
+    width: u16,
+}
+
+impl TransitionSystem for Mesh {
+    type State = (u16, u16);
+    type Action = u16;
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        vec![(0, 0)]
+    }
+
+    fn successors(&self, &(step, value): &Self::State) -> Vec<(u16, Self::State)> {
+        if step >= self.depth {
+            return Vec::new();
+        }
+        (0..4)
+            .map(|delta| (delta, (step + 1, (value * 3 + delta) % self.width)))
+            .collect()
+    }
+}
+
+fn bfs_checker(threads: usize, compact: bool) -> Checker<(u16, u16)> {
+    Checker::with_config(CheckerConfig {
+        hash_compact: compact,
+        ..CheckerConfig::default()
+    })
+    .strategy(Strategy::Bfs { threads })
+}
+
+#[test]
+fn thread_counts_agree_on_verified_runs() {
+    let mesh = Mesh {
+        depth: 40,
+        width: 500,
+    };
+    let baseline = bfs_checker(1, false).run(&mesh).stats();
+    for threads in [2, 4] {
+        for compact in [false, true] {
+            let stats = bfs_checker(threads, compact).run(&mesh).stats();
+            assert_eq!(stats, baseline, "threads={threads} compact={compact}");
+        }
+    }
+}
+
+#[test]
+fn thread_counts_agree_on_violations_and_traces() {
+    let mesh = Mesh {
+        depth: 40,
+        width: 997,
+    };
+    let violated = |threads| {
+        bfs_checker(threads, false)
+            .property(Property::new("never-123", |s: &(u16, u16)| s.1 != 123))
+            .run(&mesh)
+    };
+    let base = violated(1);
+    assert!(base.is_violated());
+    let base_trace = base.trace().unwrap();
+    for threads in [2, 4, 8] {
+        let out = violated(threads);
+        assert_eq!(out.stats(), base.stats(), "threads={threads}");
+        assert_eq!(out.violated_property(), base.violated_property());
+        let trace = out.trace().unwrap();
+        assert_eq!(trace.actions, base_trace.actions, "threads={threads}");
+        assert_eq!(trace.state, base_trace.state);
+    }
+}
+
+#[test]
+fn thread_counts_agree_on_deadlock_and_bounds() {
+    let mesh = Mesh {
+        depth: 12,
+        width: 300,
+    };
+    let base_deadlock = Checker::with_config(CheckerConfig {
+        forbid_deadlock: true,
+        ..CheckerConfig::default()
+    })
+    .run(&mesh);
+    let base_bound = Checker::with_config(CheckerConfig {
+        max_states: 700,
+        ..CheckerConfig::default()
+    })
+    .run(&mesh);
+    for threads in [2, 4] {
+        let deadlock = Checker::with_config(CheckerConfig {
+            forbid_deadlock: true,
+            ..CheckerConfig::default()
+        })
+        .strategy(Strategy::Bfs { threads })
+        .run(&mesh);
+        match (&base_deadlock, &deadlock) {
+            (
+                Outcome::Deadlock {
+                    trace: t1,
+                    stats: s1,
+                },
+                Outcome::Deadlock {
+                    trace: t2,
+                    stats: s2,
+                },
+            ) => {
+                assert_eq!(t1.actions, t2.actions, "threads={threads}");
+                assert_eq!(s1, s2);
+            }
+            _ => panic!("expected deadlock at every thread count"),
+        }
+        let bound = Checker::with_config(CheckerConfig {
+            max_states: 700,
+            ..CheckerConfig::default()
+        })
+        .strategy(Strategy::Bfs { threads })
+        .run(&mesh);
+        match (&base_bound, &bound) {
+            (
+                Outcome::BoundReached {
+                    bound: b1,
+                    stats: s1,
+                },
+                Outcome::BoundReached {
+                    bound: b2,
+                    stats: s2,
+                },
+            ) => {
+                assert_eq!(b1, b2, "threads={threads}");
+                assert_eq!(s1, s2);
+            }
+            _ => panic!("expected state bound at every thread count"),
+        }
+    }
+}
+
+#[test]
+fn zero_threads_means_available_parallelism() {
+    let mesh = Mesh {
+        depth: 20,
+        width: 100,
+    };
+    let auto = bfs_checker(0, false).run(&mesh).stats();
+    let seq = bfs_checker(1, false).run(&mesh).stats();
+    assert_eq!(auto, seq);
+}
+
+#[test]
+fn report_renders_verdict_stats_and_trace() {
+    let ring = Ring { n: 3, max_hops: 10 };
+    let out = Checker::new()
+        .property(Property::new("never-holder-2", |s: &(u8, u8)| s.0 != 2))
+        .run(&ring);
+    let report = out.report();
+    assert!(report.starts_with("verdict: VIOLATED never-holder-2\n"));
+    assert!(report.contains("states: "));
+    assert!(report.contains("counterexample (2 steps):"));
+    let verified = Checker::new().run(&ring).report();
+    assert!(verified.starts_with("verdict: VERIFIED\n"));
+    assert!(!verified.contains("counterexample"));
+}
+
+// --- Deprecated shims ---------------------------------------------------
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_builder_and_free_functions_still_work() {
+    let ring = Ring {
+        n: 3,
+        max_hops: 100,
+    };
+    let out = Checker::new().max_states(5).hash_compact(true).run(&ring);
+    assert!(matches!(
+        out,
+        Outcome::BoundReached {
+            bound: Bound::States(5),
+            ..
+        }
+    ));
+
+    let stats = explore(&Ring { n: 4, max_hops: 8 });
+    assert_eq!(stats.states, 9);
+
+    let ring = Ring { n: 3, max_hops: 50 };
+    let bad = [Property::new("never-holder-2", |s: &(u8, u8)| s.0 != 2)];
+    match random_walk(&ring, &bad, 100, 42) {
+        WalkOutcome::Violated { property, .. } => assert_eq!(property, "never-holder-2"),
+        _ => panic!("the ring walk always reaches holder 2"),
+    }
+    let good = [Property::new("hops-bounded", |s: &(u8, u8)| s.1 <= 50)];
+    assert!(random_walk(&ring, &good, 100, 7).is_clean());
+}

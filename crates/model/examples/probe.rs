@@ -1,18 +1,24 @@
-//! Quick exploration probe: `probe <muts> <cap> [max_states] [mode] [suite]`
+//! Quick exploration probe:
+//! `probe <muts> <cap> [max_states] [mode] [suite] [threads]`
 //! mode: faithful | nodel | noins | nofence | nocas | prem | sc | skip23
 //! suite: full (default) | safety
+//! threads: BFS worker threads (default 1; 0 = available parallelism)
 use gc_model::invariants::{combined_property, safety_property};
 use gc_model::{GcModel, ModelConfig};
-use mc::Checker;
+use mc::{Checker, CheckerConfig, Strategy};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let muts: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
     let cap: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
-    let max: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3_000_000);
+    let max: usize = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000_000);
     let mode = args.get(4).map(String::as_str).unwrap_or("faithful");
     let suite = args.get(5).map(String::as_str).unwrap_or("full");
+    let threads: usize = args.get(6).and_then(|s| s.parse().ok()).unwrap_or(1);
     let mut cfg = ModelConfig::small(muts, cap);
     match mode {
         "faithful" => {}
@@ -41,27 +47,22 @@ fn main() {
         "safety" => safety_property(&cfg),
         other => panic!("unknown suite {other}"),
     };
-    let checker = Checker::new()
-        .max_states(max)
-        .hash_compact(true)
-        .property(prop);
+    let checker = Checker::with_config(CheckerConfig {
+        max_states: max,
+        hash_compact: true,
+        ..CheckerConfig::default()
+    })
+    .strategy(Strategy::Bfs { threads })
+    .property(prop);
     let t0 = Instant::now();
     let out = checker.run(&model);
     let stats = out.stats();
     println!(
-        "mode={mode} suite={suite} muts={muts} cap={cap}: states={} transitions={} depth={} in {:?}",
+        "mode={mode} suite={suite} muts={muts} cap={cap} threads={threads}: states={} transitions={} depth={} in {:?}",
         stats.states, stats.transitions, stats.depth, t0.elapsed()
     );
-    match &out {
-        mc::Outcome::Verified(_) => println!("VERIFIED"),
-        mc::Outcome::Violated { property, trace, .. } => {
-            println!("VIOLATED: {property} (trace len {})", trace.actions.len());
-            println!("{}", model.format_trace(&trace.actions));
-        }
-        mc::Outcome::BoundReached { bound, .. } => println!("BOUND: {bound}"),
-        mc::Outcome::Deadlock { trace, .. } => {
-            println!("DEADLOCK at len {}", trace.actions.len());
-            println!("{}", model.format_trace(&trace.actions));
-        }
-    }
+    print!(
+        "{}",
+        out.report_with(|trace| model.format_trace(&trace.actions))
+    );
 }

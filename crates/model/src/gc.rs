@@ -116,10 +116,7 @@ fn build_scan(p: &mut Prog, cfg: &ModelConfig) -> ComId {
             let g = l.gc();
             Req {
                 tid,
-                kind: ReqKind::Read(Addr::Field(
-                    g.scan_src.expect("scanning"),
-                    g.scan_fld,
-                )),
+                kind: ReqKind::Read(Addr::Field(g.scan_src.expect("scanning"), g.scan_fld)),
             }
         },
         |l: &Local, beta: &Resp| {

@@ -152,9 +152,9 @@ pub fn reachable_snapshot_inv(v: &View, m: usize) -> bool {
     let heap = v.heap();
     let tri = v.tricolor(&heap);
     let protected = tri.grey_protected();
-    heap.reachable(v.mutator_roots(m)).iter().all(|&r| {
-        tri.is_black(r) || tri.is_grey(r) || protected.contains(&r)
-    })
+    heap.reachable(v.mutator_roots(m))
+        .iter()
+        .all(|&r| tri.is_black(r) || tri.is_grey(r) || protected.contains(&r))
 }
 
 /// `mutator_phase_inv`: the per-mutator barrier obligations, keyed by the
@@ -275,9 +275,8 @@ pub fn gc_w_empty_mut_inv(v: &View) -> bool {
     if !sys.hs_pending.iter().any(|&b| b) {
         return true;
     }
-    let collector_has_work = !v.gc().wl.is_empty()
-        || !sys.w_staged.is_empty()
-        || v.gc().ghost_honorary_grey.is_some();
+    let collector_has_work =
+        !v.gc().wl.is_empty() || !sys.w_staged.is_empty() || v.gc().ghost_honorary_grey.is_some();
     if collector_has_work {
         return true;
     }
@@ -288,8 +287,7 @@ pub fn gc_w_empty_mut_inv(v: &View) -> bool {
     for m in 0..v.config().mutators {
         let completed = sys.ghost_hs_flagged[m] && !sys.hs_pending[m];
         if completed && has_grey(m) {
-            let witness = (0..v.config().mutators)
-                .any(|m2| sys.hs_pending[m2] && has_grey(m2));
+            let witness = (0..v.config().mutators).any(|m2| sys.hs_pending[m2] && has_grey(m2));
             if !witness {
                 return false;
             }
@@ -390,9 +388,10 @@ pub fn check_all(v: &View) -> Option<&'static str> {
                     return Some("mutator_phase_inv (marked_deletions)");
                 }
                 if ms.ghost_roots_done {
-                    let snapshot_ok = heap.reachable(v.mutator_roots(m)).iter().all(|&r| {
-                        tri.is_black(r) || tri.is_grey(r) || protected.contains(&r)
-                    });
+                    let snapshot_ok = heap
+                        .reachable(v.mutator_roots(m))
+                        .iter()
+                        .all(|&r| tri.is_black(r) || tri.is_grey(r) || protected.contains(&r));
                     if !snapshot_ok {
                         return Some("reachable_snapshot_inv");
                     }

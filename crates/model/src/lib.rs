@@ -33,15 +33,17 @@
 //! ```
 //! use gc_model::{GcModel, ModelConfig};
 //! use gc_model::invariants::safety_property;
-//! use mc::Checker;
+//! use mc::{Checker, CheckerConfig};
 //!
 //! // A deliberately tiny instance so the doctest stays fast: one mutator,
 //! // two heap slots, stores and discards only.
 //! let mut cfg = ModelConfig::small(1, 2);
 //! cfg.ops.alloc = false;
 //! cfg.ops.load = false;
-//! let outcome = Checker::new()
-//!     .max_states(200_000)
+//! let outcome = Checker::with_config(CheckerConfig {
+//!         max_states: 200_000,
+//!         ..CheckerConfig::default()
+//!     })
 //!     .property(safety_property(&cfg))
 //!     .run(&GcModel::new(cfg));
 //! assert!(!outcome.is_violated());

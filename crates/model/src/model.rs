@@ -39,24 +39,24 @@ impl GcModel {
     pub fn new(cfg: ModelConfig) -> Self {
         cfg.validate();
         let mut procs = Vec::new();
-        procs.push((
-            "gc",
-            gc_program(&cfg),
-            Local::Gc(GcState::initial()),
-        ));
-        for m in 0..cfg.mutators {
-            // Mutator display names; CIMP wants 'static strs, so use a
-            // small fixed table (configs are bounded anyway).
-            const NAMES: [&str; 8] = [
-                "mut0", "mut1", "mut2", "mut3", "mut4", "mut5", "mut6", "mut7",
-            ];
+        procs.push(("gc", gc_program(&cfg), Local::Gc(GcState::initial())));
+        // Mutator display names; CIMP wants 'static strs, so use a
+        // small fixed table (configs are bounded anyway).
+        const NAMES: [&str; 8] = [
+            "mut0", "mut1", "mut2", "mut3", "mut4", "mut5", "mut6", "mut7",
+        ];
+        for (m, name) in NAMES.iter().enumerate().take(cfg.mutators) {
             procs.push((
-                NAMES[m],
+                *name,
                 mutator_program(&cfg, m),
                 Local::Mut(initial_mut_state(&cfg, m)),
             ));
         }
-        procs.push(("sys", sys_program(&cfg), Local::Sys(initial_sys_state(&cfg))));
+        procs.push((
+            "sys",
+            sys_program(&cfg),
+            Local::Sys(initial_sys_state(&cfg)),
+        ));
         GcModel {
             system: System::new(procs),
             cfg,

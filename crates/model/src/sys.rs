@@ -27,10 +27,7 @@ pub fn initial_sys_state(cfg: &ModelConfig) -> SysState {
         // Initial objects are black: flag == f_M == false.
         mem.initialize(Addr::Flag(r), Val::Bool(false));
         for (f, target) in fields.iter().enumerate() {
-            mem.initialize(
-                Addr::Field(r, f as u8),
-                Val::Ref(target.map(Ref::new)),
-            );
+            mem.initialize(Addr::Field(r, f as u8), Val::Ref(target.map(Ref::new)));
         }
     }
     SysState {
@@ -290,8 +287,20 @@ pub fn sys_program(cfg: &ModelConfig) -> Prog {
     });
 
     let body = p.choose([
-        read, write, mfence, lock, unlock, dequeue, alloc, free, snapshot, hs_begin, hs_pend,
-        hs_await, hs_poll, hs_complete,
+        read,
+        write,
+        mfence,
+        lock,
+        unlock,
+        dequeue,
+        alloc,
+        free,
+        snapshot,
+        hs_begin,
+        hs_pend,
+        hs_await,
+        hs_poll,
+        hs_complete,
     ]);
     let entry = p.loop_forever(body);
     p.set_entry(entry);

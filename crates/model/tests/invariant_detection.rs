@@ -22,7 +22,9 @@ impl Surgeon {
         let model = GcModel::new(cfg.clone());
         let st = model.initial_states().remove(0);
         Surgeon {
-            controls: (0..cfg.mutators + 2).map(|p| st.control(p).clone()).collect(),
+            controls: (0..cfg.mutators + 2)
+                .map(|p| st.control(p).clone())
+                .collect(),
             locals: st.locals().to_vec(),
             cfg,
         }
@@ -142,7 +144,10 @@ fn weak_tricolor_accepts_grey_protection() {
         gc_model::Val::Ref(Some(r(1))),
     );
     s.gc_mut().wl.insert(r(2)); // grey
-    assert!(!s.check(invariants::strong_tricolor_inv), "black→white edge");
+    assert!(
+        !s.check(invariants::strong_tricolor_inv),
+        "black→white edge"
+    );
     assert!(
         s.check(invariants::weak_tricolor_inv),
         "but the white object is grey-protected"

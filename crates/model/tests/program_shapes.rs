@@ -64,9 +64,11 @@ fn mutator_program_is_a_loop_of_choices() {
 
 #[test]
 fn barrier_ablations_remove_the_marks() {
-    let mut cfg = ModelConfig::default();
-    cfg.deletion_barrier = false;
-    cfg.insertion_barrier = false;
+    let cfg = ModelConfig {
+        deletion_barrier: false,
+        insertion_barrier: false,
+        ..ModelConfig::default()
+    };
     let p = mutator_program(&cfg, 0);
     let text = cimp::pretty::render_program(&p);
     // The store branch has no marks left; root marking still has one.

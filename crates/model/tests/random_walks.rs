@@ -7,22 +7,34 @@
 
 use gc_model::invariants::combined_property;
 use gc_model::{GcModel, InitialHeap, ModelConfig};
-use mc::{random_walk, WalkOutcome};
+use mc::{Checker, Outcome, Strategy};
+
+fn walk(cfg: &ModelConfig, steps: usize, seed: u64) -> Outcome<GcModel> {
+    Checker::new()
+        .strategy(Strategy::RandomWalk { steps, seed })
+        .property(combined_property(cfg))
+        .run(&GcModel::new(cfg.clone()))
+}
 
 fn walk_clean(cfg: ModelConfig, steps: usize, seeds: std::ops::Range<u64>) {
     let model = GcModel::new(cfg.clone());
-    let props = [combined_property(&cfg)];
     for seed in seeds {
-        match random_walk(&model, &props, steps, seed) {
-            WalkOutcome::Violated { property, trace } => panic!(
+        match walk(&cfg, steps, seed) {
+            Outcome::Violated {
+                property, trace, ..
+            } => panic!(
                 "seed {seed}: violated {property} after {} steps:\n{}",
                 trace.actions.len(),
                 model.format_trace(&trace.actions)
             ),
-            WalkOutcome::Stuck { steps } => {
-                panic!("seed {seed}: the model deadlocked after {steps} steps")
+            Outcome::Deadlock { stats, .. } => {
+                panic!(
+                    "seed {seed}: the model deadlocked after {} steps",
+                    stats.transitions
+                )
             }
-            WalkOutcome::Completed { .. } => {}
+            Outcome::BoundReached { .. } => {}
+            Outcome::Verified(_) => unreachable!("walks never verify"),
         }
     }
 }
@@ -66,13 +78,6 @@ fn deep_chain_walks_clean() {
 fn ablated_walks_find_the_bug() {
     let mut cfg = ModelConfig::small(1, 3);
     cfg.insertion_barrier = false;
-    let model = GcModel::new(cfg.clone());
-    let props = [combined_property(&cfg)];
-    let found = (0..200u64).any(|seed| {
-        matches!(
-            random_walk(&model, &props, 3_000, seed),
-            WalkOutcome::Violated { .. }
-        )
-    });
+    let found = (0..200u64).any(|seed| walk(&cfg, 3_000, seed).is_violated());
     assert!(found, "200 random walks should hit the missing-barrier bug");
 }

@@ -59,7 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod machine;
 pub mod litmus;
+mod machine;
 
 pub use machine::{Machine, MemoryModel, StoreBuffer, ThreadId, TsoError};

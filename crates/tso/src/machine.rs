@@ -112,7 +112,10 @@ impl fmt::Display for TsoError {
                 write!(f, "store buffer of {thread} is empty")
             }
             TsoError::UnknownThread { thread, threads } => {
-                write!(f, "{thread} out of range for machine with {threads} thread(s)")
+                write!(
+                    f,
+                    "{thread} out of range for machine with {threads} thread(s)"
+                )
             }
         }
     }

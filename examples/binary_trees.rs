@@ -61,6 +61,10 @@ fn main() {
         s.barrier_cas_won(),
         s.barrier_cas_lost()
     );
-    assert_eq!(collector.live_objects(), 2047, "exactly the long-lived tree");
+    assert_eq!(
+        collector.live_objects(),
+        2047,
+        "exactly the long-lived tree"
+    );
     println!("long-lived tree survived 40 rounds of churn — no use-after-free");
 }

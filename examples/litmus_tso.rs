@@ -35,7 +35,9 @@ fn main() {
                 let wins: u32 = o.regs().iter().map(|r| r[0]).sum();
                 assert_eq!(wins, 1);
             }
-            println!("             -> exactly one CAS winner in every interleaving (Figure 5's race)");
+            println!(
+                "             -> exactly one CAS winner in every interleaving (Figure 5's race)"
+            );
         }
     }
 }

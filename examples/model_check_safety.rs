@@ -12,17 +12,27 @@
 //! Run with: `cargo run --release --example model_check_safety`
 //! (A debug build works but explores ~4M states slowly.)
 
-use relaxing_safely::mc::{Checker, Outcome};
+use relaxing_safely::mc::{Checker, CheckerConfig, Outcome, Strategy};
 use relaxing_safely::model::invariants::combined_property;
 use relaxing_safely::model::{GcModel, ModelConfig};
+
+fn compact() -> CheckerConfig {
+    CheckerConfig {
+        hash_compact: true,
+        ..CheckerConfig::default()
+    }
+}
 
 fn main() {
     // -- The theorem, bounded ------------------------------------------
     let cfg = ModelConfig::small(1, 2);
     println!("exploring GC ∥ M1 ∥ Sys with {cfg:?}\n(this takes a few minutes in release mode)");
     let model = GcModel::new(cfg.clone());
-    let outcome = Checker::new()
-        .hash_compact(true)
+    // `threads: 0` = all available cores; the parallel frontier search
+    // visits exactly the same states and reports the same verdict as the
+    // sequential one.
+    let outcome = Checker::with_config(compact())
+        .strategy(Strategy::Bfs { threads: 0 })
         .property(combined_property(&cfg))
         .run(&model);
     match &outcome {
@@ -38,8 +48,8 @@ fn main() {
     broken.insertion_barrier = false;
     println!("\nnow without the insertion barrier...");
     let model = GcModel::new(broken.clone());
-    let outcome = Checker::new()
-        .hash_compact(true)
+    let outcome = Checker::with_config(compact())
+        .strategy(Strategy::Bfs { threads: 0 })
         .property(combined_property(&broken))
         .run(&model);
     match &outcome {

@@ -31,7 +31,10 @@ fn main() {
     if tail != head {
         m.discard(tail);
     }
-    println!("built a 10-node list; live objects: {}", collector.live_objects());
+    println!(
+        "built a 10-node list; live objects: {}",
+        collector.live_objects()
+    );
 
     // Run the collector concurrently while we mutate.
     collector.start();

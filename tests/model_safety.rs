@@ -6,22 +6,26 @@
 //! experiment binaries in `gc-bench` run the full-size versions recorded
 //! in EXPERIMENTS.md.
 
-use relaxing_safely::mc::{Checker, Outcome};
+use relaxing_safely::mc::{Checker, CheckerConfig, Outcome};
 use relaxing_safely::model::invariants::{combined_property, safety_property};
 use relaxing_safely::model::{GcModel, InitialHeap, ModelConfig};
 
+fn compact(max_states: usize) -> CheckerConfig {
+    CheckerConfig {
+        max_states,
+        hash_compact: true,
+        ..CheckerConfig::default()
+    }
+}
+
 fn run_full(cfg: &ModelConfig, max_states: usize) -> Outcome<GcModel> {
-    Checker::new()
-        .max_states(max_states)
-        .hash_compact(true)
+    Checker::with_config(compact(max_states))
         .property(combined_property(cfg))
         .run(&GcModel::new(cfg.clone()))
 }
 
 fn run_safety(cfg: &ModelConfig, max_states: usize) -> Outcome<GcModel> {
-    Checker::new()
-        .max_states(max_states)
-        .hash_compact(true)
+    Checker::with_config(compact(max_states))
         .property(safety_property(cfg))
         .run(&GcModel::new(cfg.clone()))
 }
@@ -38,7 +42,10 @@ fn faithful_trimmed_instance_verifies() {
     assert!(out.is_verified(), "got {:?}", out.stats());
     // The store+discard instance is small but non-trivial (≈8.1k states:
     // full barrier machinery, handshakes and TSO buffers all exercised).
-    assert!(out.stats().states > 5_000, "the instance must be non-trivial");
+    assert!(
+        out.stats().states > 5_000,
+        "the instance must be non-trivial"
+    );
 }
 
 /// Sequential consistency: the same instance verifies with a much smaller
@@ -150,9 +157,7 @@ fn counterexample_traces_replay() {
     let mut cfg = ModelConfig::small(1, 3);
     cfg.insertion_barrier = false;
     let model = GcModel::new(cfg.clone());
-    let out = Checker::new()
-        .max_states(3_000_000)
-        .hash_compact(true)
+    let out = Checker::with_config(compact(3_000_000))
         .property(combined_property(&cfg))
         .run(&model);
     let trace = out.trace().expect("violation expected");
@@ -166,7 +171,10 @@ fn counterexample_traces_replay() {
             .expect("every trace action is enabled in order");
         state = next;
     }
-    assert_eq!(&state, &trace.state, "trace must land on the reported state");
+    assert_eq!(
+        &state, &trace.state,
+        "trace must land on the reported state"
+    );
     let prop = combined_property(&cfg);
     assert!(!prop.holds(&state));
 }

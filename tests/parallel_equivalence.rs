@@ -1,0 +1,83 @@
+//! The tentpole guarantee of the parallel checker: for any thread count,
+//! `Strategy::Bfs` visits the same states, reports the same verdict, and —
+//! on violated runs — returns the same shortest counterexample as the
+//! sequential search.
+
+use relaxing_safely::mc::{Checker, CheckerConfig, Outcome, Strategy};
+use relaxing_safely::model::invariants::{combined_property, safety_property};
+use relaxing_safely::model::{GcModel, InitialHeap, ModelConfig};
+
+fn run(
+    cfg: &ModelConfig,
+    threads: usize,
+    full_suite: bool,
+    hash_compact: bool,
+) -> Outcome<GcModel> {
+    let prop = if full_suite {
+        combined_property(cfg)
+    } else {
+        safety_property(cfg)
+    };
+    Checker::with_config(CheckerConfig {
+        max_states: 2_000_000,
+        hash_compact,
+        ..CheckerConfig::default()
+    })
+    .strategy(Strategy::Bfs { threads })
+    .property(prop)
+    .run(&GcModel::new(cfg.clone()))
+}
+
+/// A trimmed headline-safety configuration (the `model_safety.rs` faithful
+/// instance): every thread count explores the identical state space and
+/// verifies.
+#[test]
+fn thread_counts_agree_on_the_headline_config() {
+    let mut cfg = ModelConfig::small(1, 2);
+    cfg.ops.alloc = false;
+    cfg.ops.load = false;
+    for hash_compact in [false, true] {
+        let base = run(&cfg, 1, true, hash_compact);
+        assert!(base.is_verified(), "got {:?}", base.stats());
+        assert!(base.stats().states > 5_000);
+        for threads in [2, 4] {
+            let out = run(&cfg, threads, true, hash_compact);
+            assert!(out.is_verified());
+            assert_eq!(
+                out.stats(),
+                base.stats(),
+                "threads={threads} hash_compact={hash_compact}"
+            );
+        }
+    }
+}
+
+/// A seeded violation (ablated deletion barrier, the Figure 1 chain): the
+/// parallel search reports the same property, the same statistics, and a
+/// byte-identical shortest counterexample.
+#[test]
+fn thread_counts_agree_on_a_seeded_violation() {
+    let mut cfg = ModelConfig::small(1, 3);
+    cfg.deletion_barrier = false;
+    cfg.initial = InitialHeap::chain(1, 2, 1);
+    cfg.ops.alloc = false;
+    let base = run(&cfg, 1, true, true);
+    assert_eq!(
+        base.violated_property(),
+        Some("mutator_phase_inv (marked_deletions)")
+    );
+    let base_trace = base.trace().expect("violation has a trace");
+    for threads in [2, 4] {
+        let out = run(&cfg, threads, true, true);
+        assert_eq!(out.violated_property(), base.violated_property());
+        assert_eq!(out.stats(), base.stats(), "threads={threads}");
+        let trace = out.trace().expect("violation has a trace");
+        assert_eq!(
+            trace.actions.len(),
+            base_trace.actions.len(),
+            "threads={threads}: counterexample must stay shortest"
+        );
+        assert_eq!(trace.actions, base_trace.actions, "threads={threads}");
+        assert_eq!(trace.state, base_trace.state);
+    }
+}

@@ -1,9 +1,36 @@
-//! Property-based tests (proptest) over the substrates and the runtime.
+//! Randomized property tests over the substrates and the runtime: seeded
+//! in-repo generation (SplitMix64) instead of an external property-testing
+//! framework, so every failure reports a seed that replays it exactly.
 
-use proptest::prelude::*;
 use relaxing_safely::gc::{Collector, GcConfig};
 use relaxing_safely::tso::{Machine, MemoryModel, ThreadId};
 use relaxing_safely::types::{AbstractHeap, Ref, Tricolor};
+
+/// The SplitMix64 stream used for all generation below.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn u8(&mut self) -> u8 {
+        self.next_u64() as u8
+    }
+}
 
 // ---------------------------------------------------------------------
 // TSO machine laws
@@ -18,22 +45,34 @@ enum Op {
     Fence(u8),
 }
 
-fn op_strategy(threads: u8, addrs: u8) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..threads, 0..addrs, any::<u8>()).prop_map(|(t, a, v)| Op::Write(t, a, v)),
-        (0..threads).prop_map(Op::Commit),
-        (0..threads, 0..addrs).prop_map(|(t, a)| Op::Read(t, a)),
-        (0..threads).prop_map(Op::Fence),
-    ]
+fn gen_op(rng: &mut Rng, threads: u8, addrs: u8) -> Op {
+    match rng.below(4) {
+        0 => Op::Write(
+            rng.below(threads as u64) as u8,
+            rng.below(addrs as u64) as u8,
+            rng.u8(),
+        ),
+        1 => Op::Commit(rng.below(threads as u64) as u8),
+        2 => Op::Read(
+            rng.below(threads as u64) as u8,
+            rng.below(addrs as u64) as u8,
+        ),
+        _ => Op::Fence(rng.below(threads as u64) as u8),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn gen_ops(rng: &mut Rng, threads: u8, addrs: u8, max_len: u64) -> Vec<Op> {
+    let len = 1 + rng.below(max_len);
+    (0..len).map(|_| gen_op(rng, threads, addrs)).collect()
+}
 
-    /// Reads by the issuing thread always see its own newest pending write
-    /// (store-buffer forwarding), whatever else happened.
-    #[test]
-    fn tso_reads_forward_own_newest_write(ops in proptest::collection::vec(op_strategy(3, 4), 1..60)) {
+/// Reads by the issuing thread always see its own newest pending write
+/// (store-buffer forwarding), whatever else happened.
+#[test]
+fn tso_reads_forward_own_newest_write() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let ops = gen_ops(&mut rng, 3, 4, 59);
         let mut m: Machine<u8, u8> = Machine::new(3, MemoryModel::Tso);
         for a in 0..4 {
             m.initialize(a, 0);
@@ -55,14 +94,17 @@ proptest! {
                     match m.commit(ThreadId::new(t as usize)) {
                         Ok((a, v)) => {
                             let (qt, qa, qv) = queue.remove(pos.unwrap());
-                            prop_assert_eq!((qt, qa, qv), (t, a, v), "FIFO order");
+                            assert_eq!((qt, qa, qv), (t, a, v), "seed {seed}: FIFO order");
                             memory.insert(a, v);
                             // Is this still the newest pending for (t, a)?
                             if !queue.iter().any(|&(qt2, qa2, _)| qt2 == t && qa2 == a) {
                                 pending.remove(&(t, a));
                             }
                         }
-                        Err(_) => prop_assert!(pos.is_none(), "commit only fails on empty buffer"),
+                        Err(_) => assert!(
+                            pos.is_none(),
+                            "seed {seed}: commit only fails on empty buffer"
+                        ),
                     }
                 }
                 Op::Read(t, a) => {
@@ -71,21 +113,25 @@ proptest! {
                         .get(&(t, a))
                         .copied()
                         .or_else(|| memory.get(&a).copied());
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "seed {seed}");
                 }
                 Op::Fence(t) => {
                     let ok = m.mfence(ThreadId::new(t as usize)).is_ok();
                     let empty = !queue.iter().any(|&(qt, _, _)| qt == t);
-                    prop_assert_eq!(ok, empty, "fence enabled iff buffer empty");
+                    assert_eq!(ok, empty, "seed {seed}: fence enabled iff buffer empty");
                 }
             }
         }
     }
+}
 
-    /// Under SC the machine behaves like a plain map: every read sees the
-    /// latest write, buffers stay empty.
-    #[test]
-    fn sc_machine_is_a_plain_map(ops in proptest::collection::vec(op_strategy(2, 4), 1..40)) {
+/// Under SC the machine behaves like a plain map: every read sees the
+/// latest write, buffers stay empty.
+#[test]
+fn sc_machine_is_a_plain_map() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed.wrapping_add(1 << 32));
+        let ops = gen_ops(&mut rng, 2, 4, 39);
         let mut m: Machine<u8, u8> = Machine::new(2, MemoryModel::Sc);
         let mut shadow: std::collections::HashMap<u8, u8> = Default::default();
         for op in ops {
@@ -95,9 +141,13 @@ proptest! {
                     shadow.insert(a, v);
                 }
                 Op::Read(t, a) => {
-                    prop_assert_eq!(m.read(ThreadId::new(t as usize), &a).unwrap(), shadow.get(&a).copied());
+                    assert_eq!(
+                        m.read(ThreadId::new(t as usize), &a).unwrap(),
+                        shadow.get(&a).copied(),
+                        "seed {seed}"
+                    );
                 }
-                Op::Fence(t) => prop_assert!(m.can_mfence(ThreadId::new(t as usize))),
+                Op::Fence(t) => assert!(m.can_mfence(ThreadId::new(t as usize)), "seed {seed}"),
                 Op::Commit(_) => {} // never enabled under SC
             }
         }
@@ -108,69 +158,75 @@ proptest! {
 // Heap / tricolor laws
 // ---------------------------------------------------------------------
 
-fn arb_heap() -> impl Strategy<Value = AbstractHeap> {
+fn gen_heap(rng: &mut Rng) -> AbstractHeap {
     // Up to 8 objects, 2 fields, random flags and edges.
-    (1usize..8, proptest::collection::vec((any::<bool>(), 0u8..8, 0u8..8), 0..16)).prop_map(
-        |(n, edits)| {
-            let mut h = AbstractHeap::new(8, 2);
-            for _ in 0..n {
-                h.alloc(false);
-            }
-            for (flag, src, dst) in edits {
-                let src = Ref::new(src % n as u8);
-                let dst = Ref::new(dst % n as u8);
-                h.set_flag(src, flag);
-                h.set_field(src, (dst.index() % 2) as usize, Some(dst));
-            }
-            h
-        },
-    )
+    let n = 1 + rng.below(7) as usize;
+    let mut h = AbstractHeap::new(8, 2);
+    for _ in 0..n {
+        h.alloc(false);
+    }
+    let edits = rng.below(16);
+    for _ in 0..edits {
+        let flag = rng.below(2) == 1;
+        let src = Ref::new((rng.below(8) % n as u64) as u8);
+        let dst = Ref::new((rng.below(8) % n as u64) as u8);
+        h.set_flag(src, flag);
+        h.set_field(src, dst.index() % 2, Some(dst));
+    }
+    h
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Reachability is monotone in the root set and closed under edges.
-    #[test]
-    fn reachability_laws(h in arb_heap(), r1 in 0u8..8, r2 in 0u8..8) {
-        let a = Ref::new(r1 % h.capacity() as u8);
-        let b = Ref::new(r2 % h.capacity() as u8);
+/// Reachability is monotone in the root set and closed under edges.
+#[test]
+fn reachability_laws() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed.wrapping_add(2 << 32));
+        let h = gen_heap(&mut rng);
+        let a = Ref::new(rng.below(h.capacity() as u64) as u8);
+        let b = Ref::new(rng.below(h.capacity() as u64) as u8);
         let from_a = h.reachable([a]);
         let from_ab = h.reachable([a, b]);
-        prop_assert!(from_a.is_subset(&from_ab), "monotone in roots");
+        assert!(from_a.is_subset(&from_ab), "seed {seed}: monotone in roots");
         // Closure: every allocated reachable object's children are reachable.
         for &r in &from_ab {
             if let Some(obj) = h.get(r) {
                 for c in obj.children() {
-                    prop_assert!(from_ab.contains(&c), "closed under edges");
+                    assert!(from_ab.contains(&c), "seed {seed}: closed under edges");
                 }
             }
         }
     }
+}
 
-    /// Strong tricolor invariant implies the weak one (§2.1).
-    #[test]
-    fn strong_implies_weak(h in arb_heap(), greys in proptest::collection::vec(0u8..8, 0..4)) {
-        let greys: Vec<Ref> = greys
-            .into_iter()
-            .map(Ref::new)
+/// Strong tricolor invariant implies the weak one (§2.1).
+#[test]
+fn strong_implies_weak() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed.wrapping_add(3 << 32));
+        let h = gen_heap(&mut rng);
+        let greys: Vec<Ref> = (0..rng.below(4))
+            .map(|_| Ref::new(rng.below(8) as u8))
             .filter(|r| h.contains(*r))
             .collect();
         let tri = Tricolor::new(&h, true, greys);
         if tri.strong_invariant() {
-            prop_assert!(tri.weak_invariant());
+            assert!(tri.weak_invariant(), "seed {seed}");
         }
     }
+}
 
-    /// Color partition: black and white are disjoint; flipping the sense
-    /// swaps them.
-    #[test]
-    fn color_partition(h in arb_heap()) {
+/// Color partition: black and white are disjoint; flipping the sense
+/// swaps them.
+#[test]
+fn color_partition() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed.wrapping_add(4 << 32));
+        let h = gen_heap(&mut rng);
         let t1 = Tricolor::new(&h, true, std::iter::empty());
         let t2 = Tricolor::new(&h, false, std::iter::empty());
         for r in h.refs() {
-            prop_assert!(t1.is_black(r) ^ t1.is_white(r));
-            prop_assert_eq!(t1.is_black(r), t2.is_white(r));
+            assert!(t1.is_black(r) ^ t1.is_white(r), "seed {seed}");
+            assert_eq!(t1.is_black(r), t2.is_white(r), "seed {seed}");
         }
     }
 }
@@ -181,31 +237,32 @@ proptest! {
 
 #[derive(Debug, Clone, Copy)]
 enum GcOp {
-    Alloc(u8),          // field count 0..=2
-    Load(u8, u8),       // root index (mod #roots), field
-    Store(u8, u8, u8),  // src, field, dst (indices into roots)
+    Alloc(u8),         // field count 0..=2
+    Load(u8, u8),      // root index (mod #roots), field
+    Store(u8, u8, u8), // src, field, dst (indices into roots)
     Discard(u8),
     Collect,
 }
 
-fn gc_op_strategy() -> impl Strategy<Value = GcOp> {
-    prop_oneof![
-        (0u8..3).prop_map(GcOp::Alloc),
-        (any::<u8>(), 0u8..2).prop_map(|(r, f)| GcOp::Load(r, f)),
-        (any::<u8>(), 0u8..2, any::<u8>()).prop_map(|(s, f, d)| GcOp::Store(s, f, d)),
-        any::<u8>().prop_map(GcOp::Discard),
-        Just(GcOp::Collect),
-    ]
+fn gen_gc_op(rng: &mut Rng) -> GcOp {
+    match rng.below(5) {
+        0 => GcOp::Alloc(rng.below(3) as u8),
+        1 => GcOp::Load(rng.u8(), rng.below(2) as u8),
+        2 => GcOp::Store(rng.u8(), rng.below(2) as u8, rng.u8()),
+        3 => GcOp::Discard(rng.u8()),
+        _ => GcOp::Collect,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Whatever the op sequence, validation never trips: every rooted
-    /// object survives every collection, and full collections after
-    /// dropping all roots empty the heap.
-    #[test]
-    fn random_programs_never_observe_dangling(ops in proptest::collection::vec(gc_op_strategy(), 1..60)) {
+/// Whatever the op sequence, validation never trips: every rooted
+/// object survives every collection, and full collections after
+/// dropping all roots empty the heap.
+#[test]
+fn random_programs_never_observe_dangling() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed.wrapping_add(5 << 32));
+        let len = 1 + rng.below(59);
+        let ops: Vec<GcOp> = (0..len).map(|_| gen_gc_op(&mut rng)).collect();
         let collector = Collector::new(GcConfig::new(128, 2));
         let mut m = collector.register_mutator();
         let run_cycle = |m: &mut relaxing_safely::gc::Mutator| {
@@ -260,6 +317,6 @@ proptest! {
         }
         run_cycle(&mut m);
         run_cycle(&mut m);
-        prop_assert_eq!(collector.live_objects(), 0);
+        assert_eq!(collector.live_objects(), 0, "seed {seed}");
     }
 }
