@@ -1,0 +1,274 @@
+//! **Torture — the chaos-engine acceptance harness.**
+//!
+//! For each seed, runs K mutator threads churning a shared structure under
+//! a randomized deterministic [`FaultPlan`] (handshake delay storms,
+//! spurious mark-CAS losses, injected silence, mid-barrier mutator panics,
+//! slow staged transfers) while the driver thread runs collection cycles
+//! back to back with the handshake watchdog armed.
+//!
+//! The run asserts, per seed:
+//!
+//! * **termination** — every cycle reaches an outcome (`Completed` or
+//!   `TimedOut`), never a hang, even with mutators silent for several
+//!   handshake generations or leaked without deregistering;
+//! * **safety** — the use-after-free oracle (validation mode) never fires:
+//!   every churner panic must be a chaos-injected one;
+//! * **heap validity** — live objects never exceed capacity mid-run, and
+//!   after quiescence the free list is exhaustive and duplicate-free, the
+//!   phase is idle, and all garbage is reclaimed within two completed
+//!   cycles.
+//!
+//! Usage: `torture [--seeds 1,2,3] [--ops N] [--mutators K] [--capacity N]`
+//! Exits nonzero if any seed's verdict is not OK.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use otf_gc::{Collector, FaultPlan, Gc, GcConfig, Mutator};
+
+/// One mutator's churn loop: grow a shared list off `anchor`, cut it loose
+/// periodically, and walk the visible prefix (every access validated by the
+/// use-after-free oracle).
+fn churn(mut m: Mutator, anchor: Gc, ops: usize) {
+    for op in 0..ops {
+        m.safepoint();
+        match m.alloc(2) {
+            Ok(node) => {
+                let old = m.load(anchor, 0);
+                m.store(node, 0, old);
+                m.store(anchor, 0, Some(node));
+                if let Some(o) = old {
+                    m.discard(o);
+                }
+                m.discard(node);
+            }
+            // HeapFull/Exhausted is backpressure, not failure: the driver's
+            // next cycle (or our own emergency cycle) frees the cuttings.
+            Err(_) => std::thread::yield_now(),
+        }
+        if op.is_multiple_of(64) {
+            m.store(anchor, 0, None); // cut: mass garbage
+        }
+        if op.is_multiple_of(16) {
+            let mut cur = m.load(anchor, 0);
+            let mut n = 0;
+            while let Some(c) = cur {
+                let next = m.load(c, 0);
+                m.discard(c);
+                cur = next;
+                n += 1;
+                if n > 128 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+struct SeedReport {
+    seed: u64,
+    completed: u64,
+    timed_out: u64,
+    evictions: u64,
+    chaos_panics: u64,
+    fired: u64,
+    verdict: Result<(), String>,
+}
+
+fn run_seed(seed: u64, mutators: usize, ops: usize, capacity: usize) -> SeedReport {
+    let plan = FaultPlan::from_seed(seed);
+    let cfg = GcConfig::new(capacity, 2)
+        .with_handshake_timeout(Duration::from_millis(40))
+        .with_alloc_retries(2)
+        .with_alloc_pool(if seed.is_multiple_of(2) { 0 } else { 8 })
+        .with_chaos(plan);
+    let collector = Collector::new(cfg);
+
+    // Root the shared anchor from a bootstrap mutator until every churner
+    // has adopted it, then leave before the first cycle can block on us.
+    let mut m0 = collector.register_mutator();
+    let anchor = m0.alloc(2).expect("fresh heap has room");
+    let mut churners = Vec::new();
+    for _ in 0..mutators {
+        let mut m = collector.register_mutator();
+        m.adopt(anchor);
+        churners.push(m);
+    }
+    drop(m0);
+    if seed.is_multiple_of(3) {
+        // Leak a registered mutator: never beats, never acks, never
+        // deregisters — the watchdog must evict it or no cycle ever ends.
+        std::mem::forget(collector.register_mutator());
+    }
+
+    let chaos_panics = AtomicUsize::new(0);
+    let oracle_trips = AtomicUsize::new(0);
+    let first_oracle: Mutex<Option<String>> = Mutex::new(None);
+    let finished = AtomicUsize::new(0);
+    let mut verdict: Result<(), String> = Ok(());
+
+    std::thread::scope(|s| {
+        for m in churners {
+            let chaos_panics = &chaos_panics;
+            let oracle_trips = &oracle_trips;
+            let first_oracle = &first_oracle;
+            let finished = &finished;
+            s.spawn(move || {
+                let r = std::panic::catch_unwind(AssertUnwindSafe(|| churn(m, anchor, ops)));
+                if let Err(e) = r {
+                    let msg = panic_message(e.as_ref());
+                    if msg.starts_with("chaos:") {
+                        chaos_panics.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        // Anything else is the use-after-free oracle (or a
+                        // genuine bug): a safety violation either way.
+                        oracle_trips.fetch_add(1, Ordering::Relaxed);
+                        first_oracle.lock().unwrap().get_or_insert(msg);
+                    }
+                }
+                finished.fetch_add(1, Ordering::Release);
+            });
+        }
+        // The driver: cycles back to back until every churner is done.
+        // The watchdog guarantees each collect() call terminates.
+        while finished.load(Ordering::Acquire) < mutators {
+            let _ = collector.collect();
+            let live = collector.live_objects();
+            if live > capacity && verdict.is_ok() {
+                verdict = Err(format!("{live} live objects exceed capacity {capacity}"));
+            }
+        }
+    });
+
+    // Quiesced: everything is garbage now; two completed cycles must
+    // reclaim it all (the §4 floating-garbage bound), and the heap must
+    // pass the exhaustive integrity check.
+    let mut final_completed = 0;
+    for _ in 0..10 {
+        if collector.collect().is_completed() {
+            final_completed += 1;
+            if final_completed == 2 {
+                break;
+            }
+        }
+    }
+    if verdict.is_ok() && final_completed < 2 {
+        verdict = Err("quiesced heap failed to complete two cycles".into());
+    }
+    if verdict.is_ok() && oracle_trips.load(Ordering::Relaxed) > 0 {
+        verdict = Err(format!(
+            "use-after-free oracle fired {} time(s), first: {}",
+            oracle_trips.load(Ordering::Relaxed),
+            first_oracle
+                .lock()
+                .unwrap()
+                .take()
+                .unwrap_or_else(|| "<?>".into())
+        ));
+    }
+    if verdict.is_ok() {
+        let live = collector.live_objects();
+        if live != 0 {
+            verdict = Err(format!("{live} objects leaked past two completed cycles"));
+        }
+    }
+    if verdict.is_ok() {
+        verdict = collector.debug_verify_integrity();
+    }
+
+    let st = collector.stats();
+    SeedReport {
+        seed,
+        completed: st.cycles(),
+        timed_out: st.cycle_timeouts(),
+        evictions: st.evictions(),
+        chaos_panics: chaos_panics.load(Ordering::Relaxed) as u64,
+        fired: st.chaos_fired_total(),
+        verdict,
+    }
+}
+
+fn parse_args() -> (Vec<u64>, usize, usize, usize) {
+    let mut seeds: Vec<u64> = (1..=10).collect();
+    let mut ops = 20_000usize;
+    let mut mutators = 4usize;
+    let mut capacity = 1_024usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--seeds" => {
+                seeds = need(i)
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("seed must be a u64"))
+                    .collect();
+                i += 2;
+            }
+            "--ops" => {
+                ops = need(i).parse().expect("ops must be a usize");
+                i += 2;
+            }
+            "--mutators" => {
+                mutators = need(i).parse().expect("mutators must be a usize");
+                i += 2;
+            }
+            "--capacity" => {
+                capacity = need(i).parse().expect("capacity must be a usize");
+                i += 2;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    (seeds, ops, mutators, capacity)
+}
+
+fn main() {
+    // Injected panics are expected by the dozen: keep stderr quiet and
+    // report through the captured payloads instead.
+    std::panic::set_hook(Box::new(|_| {}));
+    let (seeds, ops, mutators, capacity) = parse_args();
+    println!(
+        "== torture: {} seeds x {mutators} mutators x {ops} ops, capacity {capacity} ==",
+        seeds.len()
+    );
+    println!(
+        "{:>6} | {:>9} | {:>8} | {:>7} | {:>6} | {:>6} | verdict",
+        "seed", "completed", "timedout", "evicted", "panics", "faults"
+    );
+    let mut failures = 0;
+    for &seed in &seeds {
+        let r = run_seed(seed, mutators, ops, capacity);
+        let verdict = match &r.verdict {
+            Ok(()) => "OK".to_string(),
+            Err(e) => {
+                failures += 1;
+                format!("FAIL: {e}")
+            }
+        };
+        println!(
+            "{:>6} | {:>9} | {:>8} | {:>7} | {:>6} | {:>6} | {verdict}",
+            r.seed, r.completed, r.timed_out, r.evictions, r.chaos_panics, r.fired
+        );
+    }
+    if failures > 0 {
+        eprintln!("torture: {failures} seed(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("torture: all seeds OK");
+}

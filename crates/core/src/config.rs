@@ -1,5 +1,9 @@
 //! Runtime collector configuration.
 
+use std::time::Duration;
+
+use crate::chaos::FaultPlan;
+
 /// Configuration for a [`Collector`](crate::Collector).
 ///
 /// The ablation switches mirror the model's
@@ -32,6 +36,30 @@ pub struct GcConfig {
     /// (every allocation takes the free-list lock, as in the verified
     /// model).
     pub alloc_pool: usize,
+    /// Handshake watchdog: how long a soft-handshake round may wait for
+    /// stragglers before the watchdog acts (evicting beat-less mutators
+    /// and/or aborting the cycle with
+    /// [`CycleOutcome::TimedOut`](crate::CycleOutcome::TimedOut)). `None`
+    /// (the default) waits forever, as the verified model assumes every
+    /// mutator eventually reaches a safe point.
+    pub handshake_timeout: Option<Duration>,
+    /// When the watchdog fires, evict mutators whose liveness beat never
+    /// moved during the whole timeout window — the signature of a thread
+    /// that died (or was leaked) without deregistering. Mutators that are
+    /// beating but not acknowledging are never evicted (they may still hold
+    /// live roots); they time the cycle out instead. Only meaningful with
+    /// [`handshake_timeout`](GcConfig::handshake_timeout) set.
+    pub evict_dead: bool,
+    /// Graceful degradation: how many emergency collection cycles
+    /// [`Mutator::alloc`](crate::Mutator::alloc) attempts (with backoff)
+    /// when the heap is full before surfacing
+    /// [`AllocError::Exhausted`](crate::AllocError::Exhausted). `0`
+    /// restores the legacy behaviour of returning
+    /// [`AllocError::HeapFull`](crate::AllocError::HeapFull) immediately.
+    pub alloc_retries: usize,
+    /// Deterministic fault injection (see [`FaultPlan`]). The default
+    /// [`FaultPlan::none`] is zero-cost on the hot paths.
+    pub chaos: FaultPlan,
 }
 
 impl GcConfig {
@@ -53,6 +81,10 @@ impl GcConfig {
             mark_cas: true,
             handshake_fences: true,
             alloc_pool: 0,
+            handshake_timeout: None,
+            evict_dead: true,
+            alloc_retries: 2,
+            chaos: FaultPlan::none(),
         }
     }
 
@@ -60,6 +92,27 @@ impl GcConfig {
     #[must_use]
     pub fn with_alloc_pool(mut self, slots: usize) -> Self {
         self.alloc_pool = slots;
+        self
+    }
+
+    /// Arms the handshake watchdog with the given timeout.
+    #[must_use]
+    pub fn with_handshake_timeout(mut self, timeout: Duration) -> Self {
+        self.handshake_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the emergency-collection retry budget for a full heap.
+    #[must_use]
+    pub fn with_alloc_retries(mut self, retries: usize) -> Self {
+        self.alloc_retries = retries;
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = plan;
         self
     }
 }

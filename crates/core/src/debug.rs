@@ -31,6 +31,58 @@ impl Collector {
     pub fn debug_set_fa(&self, fa: bool) {
         self.shared_for_debug().fa.store(fa, Ordering::Relaxed);
     }
+
+    /// Exhaustive consistency check of collector and heap state — the
+    /// oracle the torture harness runs between cycles. Blocks until no
+    /// collection cycle is in flight, then verifies:
+    ///
+    /// * the phase is `Idle` (a quiesced collector left no half-open
+    ///   handshake state behind);
+    /// * every registered mutator is active (eviction and deregistration
+    ///   leave no zombies in the registry);
+    /// * the free list holds unique, in-bounds, unallocated slots;
+    /// * live objects plus free slots never exceed capacity (slots held in
+    ///   mutator allocation pools account for any slack).
+    #[doc(hidden)]
+    pub fn debug_verify_integrity(&self) -> Result<(), String> {
+        let sh = self.shared_for_debug();
+        // Holding the cycle lock guarantees no cycle is mid-flight.
+        let _quiesced = sh.cycle_lock.lock();
+        let phase = Phase::from_u8(sh.phase.load(Ordering::Relaxed));
+        if phase != Phase::Idle {
+            return Err(format!("no cycle in flight but phase is {phase:?}"));
+        }
+        for m in sh.registry.lock().iter() {
+            if !m.active.load(Ordering::Acquire) {
+                return Err(format!("registered mutator {} is inactive", m.id));
+            }
+        }
+        let free = sh.heap.free_snapshot();
+        let cap = sh.heap.capacity();
+        let mut seen = vec![false; cap];
+        for &idx in &free {
+            let i = idx as usize;
+            if i >= cap {
+                return Err(format!("free-list index {i} out of bounds (cap {cap})"));
+            }
+            if seen[i] {
+                return Err(format!("slot {i} appears twice in the free list"));
+            }
+            seen[i] = true;
+            let (alloc, _, _) = sh.heap.slot_status(idx);
+            if alloc {
+                return Err(format!("slot {i} is both free-listed and allocated"));
+            }
+        }
+        let live = sh.heap.live();
+        if live + free.len() > cap {
+            return Err(format!(
+                "{live} live + {} free exceeds capacity {cap}",
+                free.len()
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -51,5 +103,22 @@ mod tests {
         let b = m.alloc(1).unwrap();
         m.store(a, 0, Some(b)); // fast path: b already marked
         assert_eq!(c.stats().barrier_cas_won(), 0);
+    }
+
+    #[test]
+    fn integrity_check_passes_on_a_quiesced_collector() {
+        let c = Collector::new(GcConfig::new(8, 2));
+        let mut m = c.register_mutator();
+        let a = m.alloc(2).unwrap();
+        let b = m.alloc(2).unwrap();
+        m.store(a, 0, Some(b));
+        c.debug_verify_integrity()
+            .expect("fresh heap is consistent");
+        m.discard(a);
+        m.discard(b);
+        drop(m);
+        assert!(c.collect().is_completed());
+        c.debug_verify_integrity()
+            .expect("post-cycle heap is consistent");
     }
 }

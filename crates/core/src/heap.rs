@@ -69,6 +69,17 @@ pub enum AllocError {
         /// The heap's bound.
         max: usize,
     },
+    /// Graceful degradation's terminal verdict: the heap stayed full even
+    /// after [`Mutator::alloc`](crate::Mutator::alloc) ran its emergency
+    /// collection budget — the live set genuinely does not fit.
+    Exhausted {
+        /// Objects still live after the final emergency cycle.
+        live: usize,
+        /// Heap capacity in slots.
+        capacity: usize,
+        /// Emergency collection cycles attempted before giving up.
+        cycles_tried: usize,
+    },
 }
 
 impl fmt::Display for AllocError {
@@ -78,6 +89,14 @@ impl fmt::Display for AllocError {
             AllocError::TooManyFields { requested, max } => {
                 write!(f, "object with {requested} fields exceeds bound {max}")
             }
+            AllocError::Exhausted {
+                live,
+                capacity,
+                cycles_tried,
+            } => write!(
+                f,
+                "heap exhausted: {live}/{capacity} slots live after {cycles_tried} emergency collection cycle(s)"
+            ),
         }
     }
 }
@@ -339,6 +358,28 @@ impl Heap {
         self.slot(g).next.store(Gc::encode(next), Ordering::Release);
     }
 
+    /// Abort recovery: force every allocated slot's flag to `fm` (all
+    /// black in the current sense), returning how many were repainted.
+    ///
+    /// An aborted cycle leaves the heap two-toned — stale marks in a sense
+    /// a *later* flip will mistake for "already marked", truncating the
+    /// trace above still-white children. The collector calls this under
+    /// handshake cover (every mutator synchronised, phase idle, `f_A ==
+    /// f_M`) so the only concurrent header writers are allocations, which
+    /// paint the same colour.
+    pub(crate) fn normalize_marks(&self, fm: bool) -> usize {
+        let mut repainted = 0;
+        for slot in self.slots.iter() {
+            let h = slot.header.load(Ordering::Acquire);
+            if hdr_alloc(h) && hdr_flag(h) != fm {
+                slot.header
+                    .store((h & !FLAG_BIT) | u64::from(fm), Ordering::Release);
+                repainted += 1;
+            }
+        }
+        repainted
+    }
+
     /// Sweep support: the header view of slot `idx` as
     /// `(allocated, flag, epoch)`.
     pub(crate) fn slot_status(&self, idx: u32) -> (bool, bool, u32) {
@@ -351,6 +392,12 @@ impl Heap {
         (0..self.capacity() as u32)
             .filter(|&i| self.slot_status(i).0)
             .count()
+    }
+
+    /// A snapshot of the global free list (integrity checking only — races
+    /// with concurrent allocation, so callers must quiesce first).
+    pub(crate) fn free_snapshot(&self) -> Vec<u32> {
+        self.free.lock().clone()
     }
 }
 

@@ -36,6 +36,15 @@
 //! immediately. The ablation switches in [`GcConfig`] let the stress tests
 //! reproduce the model checker's counterexamples on real threads.
 //!
+//! The runtime is also built to *degrade*, not hang or corrupt, under
+//! hostile schedules: a handshake watchdog
+//! ([`GcConfig::with_handshake_timeout`]) aborts cycles stalled on silent
+//! mutators (and soundly evicts provably-dead, root-less ones), a full
+//! heap triggers emergency collection from the allocating thread before
+//! reporting a structured [`AllocError::Exhausted`], and a deterministic
+//! fault-injection engine ([`FaultPlan`], module [`chaos`]) drives all of
+//! it in tests and the `torture` harness.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -66,6 +75,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod chaos;
 pub mod collections;
 mod collector;
 mod config;
@@ -77,8 +87,9 @@ mod stats;
 mod sync;
 mod worklist;
 
+pub use chaos::{ChaosSite, FaultPlan};
 pub use collections::{GcStack, GcTree};
-pub use collector::Collector;
+pub use collector::{Collector, CycleOutcome, MutId};
 pub use config::GcConfig;
 pub use handle::Gc;
 pub use heap::{AllocError, Phase};

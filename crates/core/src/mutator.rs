@@ -5,9 +5,11 @@ use std::collections::HashSet;
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
 
-use crate::collector::{MutatorShared, Shared};
+use crate::chaos::{ChaosSite, STORM_YIELDS};
+use crate::collector::{MutId, MutatorShared, Shared};
 use crate::handle::Gc;
 use crate::heap::AllocError;
+use crate::sync::Backoff;
 use crate::worklist::LocalList;
 
 /// A mutator thread's handle to the collected heap.
@@ -37,6 +39,13 @@ pub struct Mutator {
     roots: HashSet<Gc>,
     wl: LocalList,
     last_acked: u32,
+    /// Last request word seen by [`Mutator::safepoint`] — distinguishes a
+    /// freshly posted handshake (one chaos draw) from re-polling the same
+    /// pending one.
+    last_seen: u32,
+    /// Chaos: stay silent (beat but never acknowledge) until the handshake
+    /// generation reaches this value. `0` = not silenced.
+    silent_until_gen: u32,
     /// Reserved free slots (the §4 allocation-pool extension).
     pool: Vec<u32>,
 }
@@ -58,7 +67,60 @@ impl Mutator {
             roots: HashSet::new(),
             wl: LocalList::new(),
             last_acked: 0,
+            last_seen: 0,
+            silent_until_gen: 0,
             pool: Vec::new(),
+        }
+    }
+
+    /// This mutator's registration id, as reported by
+    /// [`CycleOutcome::TimedOut`](crate::CycleOutcome::TimedOut).
+    pub fn id(&self) -> MutId {
+        self.me.id
+    }
+
+    /// Roots `g`, mirroring the root-set size into the shared mailbox.
+    ///
+    /// The mirror is the watchdog's eviction guard: eviction is only sound
+    /// for a mutator that provably holds no roots, and the `SeqCst` pairing
+    /// with `Shared::try_evict` makes the proof race-free — either the
+    /// eviction attempt sees our count and rolls back, or we see its
+    /// tentative deactivation here and wait for the verdict, fail-stopping
+    /// if it committed (a revoked handle must never create a root the
+    /// collector will not scan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this mutator was evicted by the handshake watchdog.
+    fn root(&mut self, g: Gc) {
+        if !self.roots.insert(g) {
+            return;
+        }
+        self.me.root_count.fetch_add(1, Ordering::SeqCst);
+        if !self.me.active.load(Ordering::SeqCst) {
+            // An eviction attempt is in flight: spin for its verdict
+            // (`try_evict` resolves in a handful of instructions).
+            loop {
+                if self.me.evicted.load(Ordering::SeqCst) {
+                    self.roots.remove(&g);
+                    self.me.root_count.fetch_sub(1, Ordering::SeqCst);
+                    panic!(
+                        "mutator {} was evicted by the handshake watchdog; its handle is revoked",
+                        self.me.id
+                    );
+                }
+                if self.me.active.load(Ordering::SeqCst) {
+                    break; // rolled back: the root stands
+                }
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Removes `g` from the roots, keeping the shared mirror in sync.
+    fn unroot(&mut self, g: Gc) {
+        if self.roots.remove(&g) {
+            self.me.root_count.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
@@ -85,12 +147,30 @@ impl Mutator {
     /// marked with the current allocation color `f_A`, and roots it
     /// (Figure 6, `Alloc`).
     ///
+    /// On a full heap, degrades gracefully: up to
+    /// [`alloc_retries`](crate::GcConfig::alloc_retries) emergency
+    /// collection cycles are driven from this thread (answering our own
+    /// handshakes; helping along with backoff if a cycle is already in
+    /// flight) before giving up.
+    ///
     /// # Errors
     ///
-    /// [`AllocError::HeapFull`] when no slot is free — keep answering
-    /// handshakes and retry after a collection; [`AllocError::TooManyFields`]
-    /// if `fields` exceeds the heap's bound.
+    /// [`AllocError::Exhausted`] when the heap stays full after the
+    /// emergency retry budget — its fields say how much really is live;
+    /// [`AllocError::HeapFull`] when `alloc_retries` is `0` (the legacy
+    /// fail-fast behaviour); [`AllocError::TooManyFields`] if `fields`
+    /// exceeds the heap's bound.
     pub fn alloc(&mut self, fields: usize) -> Result<Gc, AllocError> {
+        match self.try_alloc(fields) {
+            Err(AllocError::HeapFull) if self.shared.cfg.alloc_retries > 0 => {
+                self.alloc_emergency(fields)
+            }
+            other => other,
+        }
+    }
+
+    /// One allocation attempt, pool-first (the §4 extension).
+    fn try_alloc(&mut self, fields: usize) -> Result<Gc, AllocError> {
         let fa = self.shared.fa.load(Ordering::Relaxed);
         let g = if self.shared.cfg.alloc_pool > 0 {
             // §4 extension: allocate from the thread-local pool, refilling
@@ -106,8 +186,65 @@ impl Mutator {
             self.shared.heap.alloc(fields, fa)?
         };
         self.shared.stats.allocated.fetch_add(1, Ordering::Relaxed);
-        self.roots.insert(g);
+        self.root(g);
         Ok(g)
+    }
+
+    /// The graceful-degradation path for a full heap: drive emergency
+    /// collection cycles from this thread until an allocation succeeds or
+    /// the retry budget is spent, then report a structured
+    /// [`AllocError::Exhausted`].
+    ///
+    /// Deadlock-freedom: if another thread's cycle is already in flight it
+    /// is almost certainly waiting for *our* handshake acknowledgement, so
+    /// blocking on the cycle lock would deadlock. Instead we `try_lock`
+    /// (via [`Shared::try_run_cycle`]) and, when beaten to it, help the
+    /// in-flight cycle by answering handshakes under backoff.
+    fn alloc_emergency(&mut self, fields: usize) -> Result<Gc, AllocError> {
+        let retries = self.shared.cfg.alloc_retries;
+        let mut cycles_tried = 0usize;
+        // Cycles completed by anyone count against the budget: a full heap
+        // that survives a whole collection is genuinely exhausted.
+        let mut observed = self.shared.stats.cycles();
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_alloc(fields) {
+                Err(AllocError::HeapFull) => {}
+                other => return other,
+            }
+            let now = self.shared.stats.cycles();
+            if now != observed {
+                cycles_tried += (now - observed) as usize;
+                observed = now;
+            }
+            if cycles_tried >= retries {
+                return Err(AllocError::Exhausted {
+                    live: self.shared.heap.live(),
+                    capacity: self.shared.heap.capacity(),
+                    cycles_tried,
+                });
+            }
+            let shared = Arc::clone(&self.shared);
+            match shared.try_run_cycle(&mut || self.safepoint()) {
+                Some(_outcome) => {
+                    // Counts even when aborted (Stopped/TimedOut): the
+                    // budget bounds wall-clock work, and an uncooperative
+                    // peer will abort every retry identically.
+                    self.shared
+                        .stats
+                        .emergency_cycles
+                        .fetch_add(1, Ordering::Relaxed);
+                    cycles_tried += 1;
+                    observed = self.shared.stats.cycles();
+                    backoff.reset();
+                }
+                None => {
+                    // A cycle is in flight, likely waiting on us: help.
+                    self.safepoint();
+                    backoff.wait();
+                }
+            }
+        }
     }
 
     /// Loads `src.field` and roots the result (Figure 6, `Load`).
@@ -122,7 +259,7 @@ impl Mutator {
         assert!(self.roots.contains(&src), "load source must be rooted");
         let v = self.shared.heap.load_field(src, field);
         if let Some(r) = v {
-            self.roots.insert(r);
+            self.root(r);
         }
         v
     }
@@ -148,11 +285,23 @@ impl Mutator {
                 self.shared.mark(d, &mut self.wl);
             }
         }
+        if self.shared.chaos_fires(ChaosSite::MutatorPanic) {
+            // Injected death between the two barriers — the worst moment:
+            // the deletion barrier ran, the store never will. Recovery is
+            // the panicking branch of `Drop`.
+            panic!("chaos: injected mutator panic mid-barrier");
+        }
         // Insertion barrier: grey the reference being stored.
         if self.shared.cfg.insertion_barrier {
             if let Some(d) = dst {
                 self.shared.mark(d, &mut self.wl);
             }
+        }
+        if !self.wl.is_empty() {
+            // Mirror for the watchdog: untransferred grey work makes this
+            // mutator unevictable (see `Shared::try_evict`). Cleared by the
+            // next transfer.
+            self.me.has_grey.store(true, Ordering::SeqCst);
         }
         self.shared.heap.store_field(src, field, dst);
     }
@@ -160,7 +309,7 @@ impl Mutator {
     /// Drops `r` from the roots (Figure 6, `Discard`). The object remains
     /// valid while reachable through other roots or heap paths.
     pub fn discard(&mut self, r: Gc) {
-        self.roots.remove(&r);
+        self.unroot(r);
     }
 
     /// Adopts a handle received from another mutator into the roots.
@@ -172,12 +321,21 @@ impl Mutator {
     /// to future work on process spawning.
     pub fn adopt(&mut self, r: Gc) {
         self.shared.heap.check(r);
-        self.roots.insert(r);
+        self.root(r);
     }
 
     /// Transfers the private grey list to the collector's staging channel.
     fn transfer(&mut self) {
+        if !self.wl.is_empty() && self.shared.chaos_fires(ChaosSite::SlowTransfer) {
+            // Injected slow transfer: stretch the window in which the
+            // collector polls for termination while grey work is still in
+            // flight (more GetWork rounds, never a lost grey).
+            for _ in 0..STORM_YIELDS {
+                std::thread::yield_now();
+            }
+        }
         self.shared.staged.push_all(&self.shared.heap, &mut self.wl);
+        self.me.has_grey.store(false, Ordering::SeqCst);
     }
 
     /// A GC-safe point: answer a pending soft handshake, if any.
@@ -187,10 +345,25 @@ impl Mutator {
     /// grey list; a get-work round just transfers. Fences bracket the work
     /// per §2.4 (unless ablated).
     pub fn safepoint(&mut self) {
+        // Liveness beat: evidence for the handshake watchdog that this
+        // thread is alive, even when it has nothing to acknowledge. Kept
+        // out of the heap-access fast paths on purpose.
+        self.me.beat.fetch_add(1, Ordering::Release);
         let req = self.me.request.load(Ordering::Acquire);
         if req == 0 || req == self.last_acked {
             return;
         }
+        if self.shared.cfg.chaos.enabled() && !self.chaos_admits_answer(req) {
+            return; // injected silence: beating, not acknowledging
+        }
+        self.answer(req);
+    }
+
+    /// Performs the handshake work for request word `req` and acknowledges
+    /// it — the chaos-free core of [`Mutator::safepoint`], also used by
+    /// `Drop` (a deregistering mutator answers unconditionally: silence is
+    /// a fault of running threads, not an excuse to wedge a clean exit).
+    fn answer(&mut self, req: u32) {
         let fences = self.shared.cfg.handshake_fences;
         if fences {
             fence(Ordering::SeqCst); // accepting load fence
@@ -213,31 +386,81 @@ impl Mutator {
         self.me.ack.store(req, Ordering::Release);
         self.last_acked = req;
     }
+
+    /// Chaos gate in front of the handshake answer. Returns `false` while
+    /// this mutator is injected-silent for the pending generation; may also
+    /// burn a yield storm (injected scheduling delay) before admitting.
+    ///
+    /// A silenced mutator keeps beating, so the watchdog never mistakes it
+    /// for dead: silence is survived via [`CycleOutcome::TimedOut`] aborts
+    /// (each aborted cycle advances the generation), never via eviction.
+    /// Without a [`handshake_timeout`](crate::GcConfig::handshake_timeout)
+    /// a silenced mutator stalls collection for as long as the silence
+    /// lasts — plans with a silence rate need the watchdog armed.
+    ///
+    /// [`CycleOutcome::TimedOut`]: crate::CycleOutcome::TimedOut
+    fn chaos_admits_answer(&mut self, req: u32) -> bool {
+        let gen = req >> 2;
+        if req != self.last_seen {
+            // One chaos draw per freshly observed request, however many
+            // times the safepoint polls it afterwards.
+            self.last_seen = req;
+            if self.silent_until_gen == 0 && self.shared.chaos_fires(ChaosSite::Silence) {
+                self.silent_until_gen = gen + self.shared.cfg.chaos.silence_generations;
+            }
+        }
+        if self.silent_until_gen != 0 {
+            if gen < self.silent_until_gen {
+                return false;
+            }
+            self.silent_until_gen = 0;
+        }
+        if self.shared.chaos_fires(ChaosSite::HandshakeDelay) {
+            // Yield storm on the acknowledgement path: the straggler the
+            // collector's backoff loop is designed around.
+            for _ in 0..STORM_YIELDS {
+                std::thread::yield_now();
+            }
+        }
+        true
+    }
+
+    /// Test hook: bump the liveness beat without reaching a safe point.
+    #[cfg(test)]
+    pub(crate) fn beat_for_test(&self) {
+        self.me.beat.fetch_add(1, Ordering::Release);
+    }
 }
 
 impl Drop for Mutator {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            // Unwinding (e.g. the validation oracle fired): do not run
-            // handshake work that could panic again and abort the process.
-            // Deactivating is enough for the collector to stop waiting;
-            // grey work is abandoned, which only matters to a run that has
-            // already failed.
+            // Unwinding — possibly from an *injected* death the rest of the
+            // system is expected to survive. Salvage what soundness needs:
+            // the grey list (greys are black parents with untraced
+            // children; abandoning them would let the sweep free reachable
+            // objects) and the pooled slots (or they leak capacity). But
+            // never re-panic — that aborts the process — so the salvage is
+            // fenced off, and no handshake is answered: our roots die with
+            // the thread, which is exactly what the collector will assume.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.transfer();
+                self.shared.heap.return_pool(std::mem::take(&mut self.pool));
+            }));
             self.me.active.store(false, Ordering::Release);
             let mut reg = self.shared.registry.lock();
             reg.retain(|m| !Arc::ptr_eq(m, &self.me));
             return;
         }
-        // Leave cleanly: answer any outstanding handshake, hand over any
-        // remaining grey work, then deactivate so the collector stops
-        // waiting for us.
+        // Leave cleanly: answer any outstanding handshake (bypassing any
+        // injected silence — see `answer`), hand over any remaining grey
+        // work, then deactivate so the collector stops waiting for us.
         loop {
-            self.safepoint();
             let pending = self.me.request.load(Ordering::Acquire);
             if pending == self.last_acked || pending == 0 {
                 break;
             }
-            std::thread::yield_now();
+            self.answer(pending);
         }
         self.transfer();
         self.shared.heap.return_pool(std::mem::take(&mut self.pool));
@@ -359,6 +582,88 @@ mod tests {
             m2.alloc(0).unwrap();
         }
         assert!(m2.alloc(0).is_err(), "all 16 slots accounted for");
+    }
+
+    #[test]
+    fn drop_mid_handshake_transfers_staged_work() {
+        let c = collector();
+        let mut m = c.register_mutator();
+        let a = m.alloc(1).unwrap();
+        let b = m.alloc(1).unwrap();
+        // Arm an active marking phase (white-box, as in the barrier tests)
+        // so the store greys `b` into the private list.
+        m.shared.fm.store(true, Ordering::Relaxed);
+        m.shared
+            .phase
+            .store(crate::Phase::Mark as u8, Ordering::Relaxed);
+        m.store(a, 0, Some(b));
+        assert_eq!(m.wl.len(), 1);
+        // Post a GetWork request by hand — the collector's side of the
+        // handshake — and drop the mutator before it ever polls a
+        // safepoint: the deregistration race of a thread exiting with a
+        // handshake in its mailbox.
+        let word = (1 << 2) | 3;
+        m.me.request.store(word, Ordering::Release);
+        let me = Arc::clone(&m.me);
+        let shared = Arc::clone(&m.shared);
+        drop(m);
+        // The drop acknowledged the pending round and handed the grey list
+        // over rather than losing it.
+        assert_eq!(me.ack.load(Ordering::Acquire), word);
+        assert!(!me.active.load(Ordering::Acquire));
+        assert!(shared.registry.lock().is_empty());
+        let staged = shared.staged.take_all(&shared.heap);
+        assert_eq!(staged.len(), 1);
+        shared
+            .phase
+            .store(crate::Phase::Idle as u8, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn emergency_collection_recovers_garbage_single_threaded() {
+        let c = Collector::new(GcConfig::new(4, 1));
+        let mut m = c.register_mutator();
+        for _ in 0..4 {
+            let g = m.alloc(1).unwrap();
+            m.discard(g);
+        }
+        // Heap full of garbage: the next alloc must drive an emergency
+        // cycle from this very thread (answering its own handshakes) and
+        // then succeed.
+        let g = m.alloc(1).expect("emergency collection reclaims garbage");
+        assert!(m.is_rooted(g));
+        assert!(c.stats().emergency_cycles() >= 1);
+        assert!(c.stats().cycles() >= 1);
+    }
+
+    #[test]
+    fn exhausted_heap_reports_structured_error() {
+        let c = Collector::new(GcConfig::new(4, 1).with_alloc_retries(2));
+        let mut m = c.register_mutator();
+        let _keep: Vec<_> = (0..4).map(|_| m.alloc(1).unwrap()).collect();
+        match m.alloc(1) {
+            Err(AllocError::Exhausted {
+                live,
+                capacity,
+                cycles_tried,
+            }) => {
+                assert_eq!(live, 4);
+                assert_eq!(capacity, 4);
+                assert_eq!(cycles_tried, 2);
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        assert_eq!(c.stats().emergency_cycles(), 2);
+    }
+
+    #[test]
+    fn alloc_retries_zero_fails_fast() {
+        let c = Collector::new(GcConfig::new(2, 1).with_alloc_retries(0));
+        let mut m = c.register_mutator();
+        m.alloc(0).unwrap();
+        m.alloc(0).unwrap();
+        assert!(matches!(m.alloc(0), Err(AllocError::HeapFull)));
+        assert_eq!(c.stats().cycles(), 0, "legacy path runs no cycles");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use crate::chaos::ChaosSite;
 use crate::sync::Mutex;
 
 /// A record of one completed collection cycle.
@@ -48,6 +49,19 @@ pub struct GcStats {
     pub(crate) barrier_cas_won: AtomicU64,
     pub(crate) barrier_cas_lost: AtomicU64,
     pub(crate) handshakes: AtomicU64,
+    /// Collector worker panics swallowed by [`Collector::stop`]
+    /// (see [`GcStats::worker_panics`]).
+    ///
+    /// [`Collector::stop`]: crate::Collector::stop
+    pub(crate) worker_panics: AtomicU64,
+    /// Mutators evicted by the handshake watchdog.
+    pub(crate) evictions: AtomicU64,
+    /// Cycles aborted by the handshake watchdog timeout.
+    pub(crate) cycle_timeouts: AtomicU64,
+    /// Emergency collection attempts triggered by a full heap.
+    pub(crate) emergency_cycles: AtomicU64,
+    /// Chaos faults fired, per [`ChaosSite`] (indexed by `repr`).
+    pub(crate) chaos_fired: [AtomicU64; ChaosSite::COUNT],
     pub(crate) history: Mutex<Vec<CycleStats>>,
 }
 
@@ -87,6 +101,46 @@ impl GcStats {
     /// Soft-handshake rounds initiated.
     pub fn handshakes(&self) -> u64 {
         self.handshakes.load(Ordering::Relaxed)
+    }
+
+    /// Collector worker panics swallowed by
+    /// [`Collector::stop`](crate::Collector::stop) instead of propagating
+    /// into the caller.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Mutators evicted by the handshake watchdog: registered mutators that
+    /// showed no liveness beat for a whole
+    /// [`handshake_timeout`](crate::GcConfig::handshake_timeout) window.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Collection cycles aborted with
+    /// [`CycleOutcome::TimedOut`](crate::CycleOutcome::TimedOut).
+    pub fn cycle_timeouts(&self) -> u64 {
+        self.cycle_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Emergency collection attempts run from
+    /// [`Mutator::alloc`](crate::Mutator::alloc) on a full heap.
+    pub fn emergency_cycles(&self) -> u64 {
+        self.emergency_cycles.load(Ordering::Relaxed)
+    }
+
+    /// Chaos faults that actually fired at `site` — the assertion handle
+    /// for fault-injection tests.
+    pub fn chaos_fired(&self, site: ChaosSite) -> u64 {
+        self.chaos_fired[site as usize].load(Ordering::Relaxed)
+    }
+
+    /// Chaos faults fired across every site.
+    pub fn chaos_fired_total(&self) -> u64 {
+        self.chaos_fired
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Per-cycle records, oldest first.

@@ -5,7 +5,8 @@
 //! protected value consistent, and the use-after-free oracle tests rely on
 //! surviving caught panics.
 
-use std::sync::MutexGuard;
+use std::sync::{MutexGuard, TryLockError};
+use std::time::Duration;
 
 /// A mutual-exclusion lock whose `lock` never fails.
 #[derive(Debug, Default)]
@@ -23,5 +24,81 @@ impl<T> Mutex<T> {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         }
+    }
+
+    /// Acquires the lock without blocking, ignoring poisoning. `None` means
+    /// another thread holds it.
+    pub(crate) fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+}
+
+/// Bounded exponential backoff for wait loops: a handful of `yield_now`
+/// rounds first (the uncontended handshake resolves within these), then
+/// sleeps doubling from 10µs up to a 1ms cap — so a watchdog-supervised
+/// wait burns neither a core nor its deadline granularity.
+#[derive(Debug, Default)]
+pub(crate) struct Backoff {
+    step: u32,
+}
+
+/// `yield_now` rounds before the backoff starts sleeping.
+const SPIN_STEPS: u32 = 6;
+/// First sleep duration, doubling per step.
+const BASE_SLEEP_US: u64 = 10;
+/// Sleep cap.
+const MAX_SLEEP_US: u64 = 1_000;
+
+impl Backoff {
+    pub(crate) fn new() -> Self {
+        Backoff::default()
+    }
+
+    /// Waits one step and escalates.
+    pub(crate) fn wait(&mut self) {
+        if self.step < SPIN_STEPS {
+            std::thread::yield_now();
+        } else {
+            let exp = (self.step - SPIN_STEPS).min(32);
+            let us = BASE_SLEEP_US
+                .saturating_mul(1u64 << exp.min(20))
+                .min(MAX_SLEEP_US);
+            std::thread::sleep(Duration::from_micros(us));
+        }
+        self.step = self.step.saturating_add(1);
+    }
+
+    /// Back to the spin phase (progress was observed).
+    pub(crate) fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_lock_reports_contention() {
+        let m = Mutex::new(1);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().expect("free"), 1);
+    }
+
+    #[test]
+    fn backoff_escalates_and_resets() {
+        let mut b = Backoff::new();
+        for _ in 0..(SPIN_STEPS + 3) {
+            b.wait();
+        }
+        assert!(b.step > SPIN_STEPS);
+        b.reset();
+        assert_eq!(b.step, 0);
     }
 }

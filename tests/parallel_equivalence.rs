@@ -3,7 +3,9 @@
 //! on violated runs — returns the same shortest counterexample as the
 //! sequential search.
 
-use relaxing_safely::mc::{Checker, CheckerConfig, Outcome, Strategy};
+use std::time::Duration;
+
+use relaxing_safely::mc::{Bound, Checker, CheckerConfig, Outcome, Strategy};
 use relaxing_safely::model::invariants::{combined_property, safety_property};
 use relaxing_safely::model::{GcModel, InitialHeap, ModelConfig};
 
@@ -79,5 +81,84 @@ fn thread_counts_agree_on_a_seeded_violation() {
         );
         assert_eq!(trace.actions, base_trace.actions, "threads={threads}");
         assert_eq!(trace.state, base_trace.state);
+    }
+}
+
+fn run_bounded(cfg: &ModelConfig, threads: usize, checker_cfg: CheckerConfig) -> Outcome<GcModel> {
+    Checker::with_config(checker_cfg)
+        .strategy(Strategy::Bfs { threads })
+        .property(safety_property(cfg))
+        .run(&GcModel::new(cfg.clone()))
+}
+
+/// Hitting `max_states` is not an escape hatch from determinism: every
+/// thread count reports `BoundReached` with the identical partial
+/// statistics, because the bound is enforced in the sequential-order drain.
+#[test]
+fn state_bound_is_deterministic_across_thread_counts() {
+    let mut cfg = ModelConfig::small(1, 2);
+    cfg.ops.alloc = false;
+    cfg.ops.load = false;
+    let bounded = |threads: usize| {
+        run_bounded(
+            &cfg,
+            threads,
+            CheckerConfig {
+                max_states: 2_000,
+                ..CheckerConfig::default()
+            },
+        )
+    };
+    let base = bounded(1);
+    let Outcome::BoundReached { bound, stats } = &base else {
+        panic!("expected BoundReached, got {base:?}");
+    };
+    assert_eq!(*bound, Bound::States(2_000));
+    assert_eq!(stats.states, 2_000, "cut exactly at the bound");
+    assert!(stats.transitions > 0, "partial stats stay coherent");
+    assert!(stats.depth > 0);
+    for threads in [2, 4] {
+        let out = bounded(threads);
+        let Outcome::BoundReached { bound: b, stats: s } = &out else {
+            panic!("threads={threads}: expected BoundReached, got {out:?}");
+        };
+        assert_eq!(b, bound, "threads={threads}");
+        assert_eq!(s, stats, "threads={threads}");
+    }
+}
+
+/// An expired `time_limit` likewise degrades deterministically: a
+/// zero-duration budget stops every worker before it expands anything, so
+/// all thread counts agree on the (initial-states-only) partial statistics.
+#[test]
+fn expired_time_limit_is_deterministic_across_thread_counts() {
+    let mut cfg = ModelConfig::small(1, 2);
+    cfg.ops.alloc = false;
+    cfg.ops.load = false;
+    let bounded = |threads: usize| {
+        run_bounded(
+            &cfg,
+            threads,
+            CheckerConfig {
+                time_limit: Some(Duration::ZERO),
+                ..CheckerConfig::default()
+            },
+        )
+    };
+    let base = bounded(1);
+    let Outcome::BoundReached { bound, stats } = &base else {
+        panic!("expected BoundReached, got {base:?}");
+    };
+    assert_eq!(*bound, Bound::Time(Duration::ZERO));
+    assert_eq!(stats.transitions, 0, "nothing expanded under a zero budget");
+    assert_eq!(stats.depth, 0);
+    assert!(stats.states > 0, "initial states are still counted");
+    for threads in [2, 4] {
+        let out = bounded(threads);
+        let Outcome::BoundReached { bound: b, stats: s } = &out else {
+            panic!("threads={threads}: expected BoundReached, got {out:?}");
+        };
+        assert_eq!(b, bound, "threads={threads}");
+        assert_eq!(s, stats, "threads={threads}");
     }
 }
