@@ -1,0 +1,303 @@
+//! The `gc-analyze` command-line driver.
+//!
+//! Exit codes (also printed by `--help`):
+//!
+//! * `0` — analysis ran and found no diagnostics;
+//! * `1` — analysis ran and found at least one diagnostic;
+//! * `2` — usage or parse error (unknown flag, unknown litmus test, …).
+
+use std::fmt::Write as _;
+
+use gc_model::ModelConfig;
+use tso_model::litmus;
+
+use crate::diag::{filter_and_sort, Diagnostic, ALL_CODES};
+use crate::gcmodel::{analyze_model_with, model_cfgs};
+use crate::litmus::{analyze_litmus, litmus_cfgs};
+
+/// Analysis found no diagnostics.
+pub const EXIT_CLEAN: i32 = 0;
+/// Analysis found at least one diagnostic.
+pub const EXIT_DIAGNOSTICS: i32 = 1;
+/// Usage or parse error.
+pub const EXIT_USAGE: i32 = 2;
+
+/// A named model ablation: its `--ablate` name and the config flip it
+/// performs.
+pub type Ablation = (&'static str, fn(&mut ModelConfig));
+
+/// The model ablations selectable with `--ablate`, with the config field
+/// each one flips.
+pub const ABLATIONS: &[Ablation] = &[
+    ("no-deletion-barrier", |c| c.deletion_barrier = false),
+    ("no-insertion-barrier", |c| c.insertion_barrier = false),
+    ("no-handshake-fences", |c| c.handshake_fences = false),
+    ("no-mark-cas", |c| c.mark_cas = false),
+    ("premature-alloc-black", |c| c.premature_alloc_black = true),
+    ("skip-noop2", |c| c.skip_noop2 = true),
+    ("skip-noop3", |c| c.skip_noop3 = true),
+];
+
+fn usage() -> String {
+    let mut s = String::from(
+        "gc-analyze: static analyzer for the CIMP garbage-collector model\n\
+         \n\
+         USAGE:\n\
+         \x20   gc-analyze [--model] [--ablate NAME]... [--allow CODE]... [--dot]\n\
+         \x20   gc-analyze --litmus <NAME|all> [--allow CODE]... [--dot]\n\
+         \n\
+         MODES:\n\
+         \x20   --model          analyze the GC model (default when no mode given)\n\
+         \x20   --litmus NAME    analyze a named litmus test, or `all` for the suite\n\
+         \n\
+         OPTIONS:\n\
+         \x20   --ablate NAME    flip a model ablation before analyzing; one of:\n",
+    );
+    for (name, _) in ABLATIONS {
+        let _ = writeln!(s, "                        {name}");
+    }
+    s.push_str("\x20   --allow CODE     suppress a diagnostic code (repeatable); codes:\n");
+    for (code, what) in ALL_CODES {
+        let _ = writeln!(s, "                        {code}  {what}");
+    }
+    s.push_str(
+        "\x20   --dot            dump the control-flow graphs in Graphviz dot format\n\
+         \x20                    instead of analyzing\n\
+         \x20   -h, --help       print this help\n\
+         \n\
+         EXIT CODES:\n\
+         \x20   0    analysis ran and found no diagnostics\n\
+         \x20   1    analysis ran and found at least one diagnostic\n\
+         \x20   2    usage or parse error\n",
+    );
+    s
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Mode {
+    Model,
+    Litmus(String),
+}
+
+struct Opts {
+    mode: Mode,
+    ablate: Vec<String>,
+    allow: Vec<String>,
+    dot: bool,
+}
+
+fn parse(args: &[String]) -> Result<Option<Opts>, String> {
+    let mut mode = None;
+    let mut ablate = Vec::new();
+    let mut allow = Vec::new();
+    let mut dot = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--model" => mode = Some(Mode::Model),
+            "--litmus" => {
+                let name = it.next().ok_or("--litmus requires a test name")?;
+                mode = Some(Mode::Litmus(name.clone()));
+            }
+            "--ablate" => {
+                let name = it.next().ok_or("--ablate requires an ablation name")?;
+                if !ABLATIONS.iter().any(|(n, _)| n == name) {
+                    return Err(format!("unknown ablation `{name}`"));
+                }
+                ablate.push(name.clone());
+            }
+            "--allow" => {
+                let code = it.next().ok_or("--allow requires a diagnostic code")?;
+                if !ALL_CODES.iter().any(|(c, _)| c == code) {
+                    return Err(format!("unknown diagnostic code `{code}`"));
+                }
+                allow.push(code.clone());
+            }
+            "--dot" => dot = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(Opts {
+        mode: mode.unwrap_or(Mode::Model),
+        ablate,
+        allow,
+        dot,
+    }))
+}
+
+fn report(diags: &[Diagnostic], what: &str, out: &mut String) -> i32 {
+    if diags.is_empty() {
+        let _ = writeln!(out, "{what}: clean");
+        EXIT_CLEAN
+    } else {
+        for d in diags {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = writeln!(out, "{what}: {} diagnostic(s)", diags.len());
+        EXIT_DIAGNOSTICS
+    }
+}
+
+/// Runs the CLI on `args` (without the program name), appending output to
+/// `out`. Returns the process exit code.
+pub fn run(args: &[String], out: &mut String) -> i32 {
+    let opts = match parse(args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            out.push_str(&usage());
+            return EXIT_CLEAN;
+        }
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            out.push('\n');
+            out.push_str(&usage());
+            return EXIT_USAGE;
+        }
+    };
+
+    match &opts.mode {
+        Mode::Model => {
+            let mut cfg = ModelConfig::default();
+            for name in &opts.ablate {
+                let (_, apply) = ABLATIONS
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .expect("validated during parse");
+                apply(&mut cfg);
+            }
+            if opts.dot {
+                for p in model_cfgs(&cfg) {
+                    out.push_str(&p.cfg.to_dot());
+                }
+                return EXIT_CLEAN;
+            }
+            let diags = analyze_model_with(&cfg, &opts.allow);
+            report(&diags, "model", out)
+        }
+        Mode::Litmus(name) => {
+            let suite = litmus::suite();
+            let selected: Vec<_> = if name == "all" {
+                suite
+            } else {
+                let found: Vec<_> = suite
+                    .into_iter()
+                    .filter(|t| t.name().eq_ignore_ascii_case(name))
+                    .collect();
+                if found.is_empty() {
+                    let _ = writeln!(out, "error: unknown litmus test `{name}`");
+                    let names: Vec<_> = litmus::suite().iter().map(|t| t.name()).collect();
+                    let _ = writeln!(out, "known tests: {} (or `all`)", names.join(", "));
+                    return EXIT_USAGE;
+                }
+                found
+            };
+            if opts.dot {
+                for t in &selected {
+                    for (_, cfg) in litmus_cfgs(t) {
+                        out.push_str(&cfg.to_dot());
+                    }
+                }
+                return EXIT_CLEAN;
+            }
+            let mut code = EXIT_CLEAN;
+            for t in &selected {
+                let diags = filter_and_sort(analyze_litmus(t), &opts.allow);
+                code = code.max(report(&diags, t.name(), out));
+            }
+            code
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_args(args: &[&str]) -> (i32, String) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = String::new();
+        let code = run(&args, &mut out);
+        (code, out)
+    }
+
+    #[test]
+    fn help_documents_exit_codes() {
+        let (code, out) = run_args(&["--help"]);
+        assert_eq!(code, EXIT_CLEAN);
+        assert!(out.contains("EXIT CODES"));
+        assert!(out.contains("0    analysis ran and found no diagnostics"));
+        assert!(out.contains("2    usage or parse error"));
+        for (c, _) in ALL_CODES {
+            assert!(out.contains(c), "help must list {c}");
+        }
+    }
+
+    #[test]
+    fn unknown_flag_is_a_usage_error() {
+        let (code, out) = run_args(&["--frobnicate"]);
+        assert_eq!(code, EXIT_USAGE);
+        assert!(out.contains("unknown argument"));
+    }
+
+    #[test]
+    fn unknown_litmus_test_is_a_usage_error() {
+        let (code, out) = run_args(&["--litmus", "nope"]);
+        assert_eq!(code, EXIT_USAGE);
+        assert!(out.contains("unknown litmus test"));
+    }
+
+    #[test]
+    fn faithful_model_exits_clean() {
+        let (code, out) = run_args(&["--model"]);
+        assert_eq!(code, EXIT_CLEAN, "{out}");
+        assert!(out.contains("model: clean"));
+    }
+
+    #[test]
+    fn ablated_model_exits_with_diagnostics() {
+        let (code, out) = run_args(&["--model", "--ablate", "no-mark-cas"]);
+        assert_eq!(code, EXIT_DIAGNOSTICS, "{out}");
+        assert!(out.contains("A005"));
+    }
+
+    #[test]
+    fn suppressing_every_code_turns_the_exit_clean() {
+        let (code, _) = run_args(&[
+            "--model",
+            "--ablate",
+            "no-mark-cas",
+            "--allow",
+            "A005",
+            "--allow",
+            "A003",
+            "--allow",
+            "A002",
+            "--allow",
+            "A001",
+            "--allow",
+            "A004",
+        ]);
+        assert_eq!(code, EXIT_CLEAN);
+    }
+
+    #[test]
+    fn litmus_sb_flags_and_fenced_variant_is_clean() {
+        let (code, out) = run_args(&["--litmus", "sb"]);
+        assert_eq!(code, EXIT_DIAGNOSTICS);
+        assert!(out.contains("A005"));
+        let (code, out) = run_args(&["--litmus", "SB+mfences"]);
+        assert_eq!(code, EXIT_CLEAN, "{out}");
+    }
+
+    #[test]
+    fn dot_mode_emits_graphs() {
+        let (code, out) = run_args(&["--model", "--dot"]);
+        assert_eq!(code, EXIT_CLEAN);
+        assert!(out.contains("digraph \"gc\""));
+        assert!(out.contains("digraph \"sys\""));
+        let (code, out) = run_args(&["--litmus", "sb", "--dot"]);
+        assert_eq!(code, EXIT_CLEAN);
+        assert!(out.contains("digraph \"t0\""));
+    }
+}

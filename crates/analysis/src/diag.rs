@@ -1,0 +1,126 @@
+//! Diagnostics: stable codes, suppression, and rendering.
+
+use std::fmt;
+
+/// A stable diagnostic code. Codes never change meaning once shipped; CI
+/// suppressions (`--allow A003`) key on them.
+pub type Code = &'static str;
+
+/// Unreachable atomic command: a labelled command sits in the program arena
+/// but no path from the entry point reaches it.
+pub const A001: Code = "A001";
+/// Handshake-protocol violation: a collector write to a control variable
+/// (`fA`/`fM`/`phase`) lies on a cycle that performs no soft handshake, so
+/// a mutator may run arbitrarily long without observing the new value.
+pub const A002: Code = "A002";
+/// Write-barrier incompleteness: a mutator heap store is not dominated by
+/// its insertion/deletion barrier sequence.
+pub const A003: Code = "A003";
+/// Missing memory-effect annotation: an atomic command reachable from the
+/// entry point carries no [`MemEffect`](cimp::MemEffect), so the
+/// store-buffer dataflow must treat it (unsoundly) as pure.
+pub const A004: Code = "A004";
+/// TSO store-buffer hazard: two threads each load, with a write still
+/// buffered, the location the other publishes — the store-buffering (SB)
+/// shape. Comes with a concrete fence suggestion.
+pub const A005: Code = "A005";
+
+/// Every lint code with a one-line description, for `--help` and docs.
+pub const ALL_CODES: &[(Code, &str)] = &[
+    (A001, "unreachable labelled command"),
+    (A002, "control-variable write not followed by a handshake"),
+    (
+        A003,
+        "mutator heap store not dominated by its write barriers",
+    ),
+    (
+        A004,
+        "reachable atomic command without a MemEffect annotation",
+    ),
+    (
+        A005,
+        "cross-thread TSO store-buffer hazard (fence suggested)",
+    ),
+];
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Stable code (`A001`, …).
+    pub code: Code,
+    /// The CIMP label the finding anchors to, if any.
+    pub label: Option<String>,
+    /// Human-readable description, including the fix where one is known.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic anchored at `label`.
+    pub fn at(code: Code, label: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            label: Some(label.into()),
+            message: message.into(),
+        }
+    }
+
+    /// Converts into the mirror type the `mc` checker embeds in
+    /// [`Outcome::PrecheckFailed`](mc::Outcome::PrecheckFailed).
+    pub fn to_precheck(&self) -> mc::PrecheckDiagnostic {
+        mc::PrecheckDiagnostic {
+            code: self.code.to_string(),
+            label: self.label.clone(),
+            message: self.message.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.label {
+            Some(l) => write!(f, "{} [{}]: {}", self.code, l, self.message),
+            None => write!(f, "{}: {}", self.code, self.message),
+        }
+    }
+}
+
+/// Drops diagnostics whose code appears in `allow` (each lint is
+/// individually suppressible), then sorts by code, label and message for a
+/// deterministic report order.
+pub fn filter_and_sort(mut diags: Vec<Diagnostic>, allow: &[String]) -> Vec<Diagnostic> {
+    diags.retain(|d| !allow.iter().any(|a| a == d.code));
+    diags.sort();
+    diags.dedup();
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_suppression() {
+        let d1 = Diagnostic::at(A005, "sb-load", "hazard");
+        let d2 = Diagnostic {
+            code: A001,
+            label: None,
+            message: "dead".into(),
+        };
+        assert_eq!(d1.to_string(), "A005 [sb-load]: hazard");
+        assert_eq!(d2.to_string(), "A001: dead");
+        let kept = filter_and_sort(vec![d1.clone(), d2.clone()], &["A001".to_string()]);
+        assert_eq!(kept, vec![d1.clone()]);
+        // Sorted by code, duplicates removed.
+        let all = filter_and_sort(vec![d1.clone(), d2.clone(), d1.clone()], &[]);
+        assert_eq!(all, vec![d2, d1]);
+    }
+
+    #[test]
+    fn precheck_mirror_round_trips() {
+        let d = Diagnostic::at(A002, "gc-flip-fM", "no handshake");
+        let p = d.to_precheck();
+        assert_eq!(p.code, "A002");
+        assert_eq!(p.label.as_deref(), Some("gc-flip-fM"));
+        assert_eq!(p.to_string(), d.to_string());
+    }
+}

@@ -62,6 +62,6 @@ pub mod program;
 pub mod step;
 pub mod system;
 
-pub use program::{Com, ComId, Label, Program};
+pub use program::{AbsLoc, Com, ComId, Label, MemEffect, Program};
 pub use step::{PendingStep, Stack};
 pub use system::{Event, ProcId, System, SystemState};

@@ -52,6 +52,51 @@ pub type RespFn<S, Req, Resp> = Arc<dyn Fn(&Req, &S) -> Vec<(S, Resp)> + Send + 
 /// Evaluates a branch condition on the local state.
 pub type CondFn<S> = Arc<dyn Fn(&S) -> bool + Send + Sync>;
 
+/// An abstract shared-memory location.
+///
+/// Static analyses cannot evaluate the opaque request closures of a
+/// [`Com::Request`], so commands are summarised at the granularity of
+/// *named location regions* ("fM", "phase", "field", …). Region names are
+/// model-specific; the analysis only compares them for equality.
+pub type AbsLoc = &'static str;
+
+/// A static summary of an atomic command's shared-memory behaviour under
+/// x86-TSO, attached to commands via [`Program::annotate`].
+///
+/// The summary describes the effect on the *issuing thread's* store buffer
+/// and its visibility: what a forward may-buffered-write analysis needs in
+/// order to reason about fence placement without enumerating interleavings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemEffect {
+    /// Loads the region (store-buffer forwarding, else shared memory).
+    Load(AbsLoc),
+    /// Stores to the region; the write is enqueued on the issuing thread's
+    /// store buffer and becomes globally visible only at a later commit.
+    Store(AbsLoc),
+    /// Drains the issuing thread's store buffer (`MFENCE`, or any
+    /// rendezvous whose enabling condition requires an empty buffer).
+    Fence,
+    /// A locked read-modify-write of the region: reads and writes it and
+    /// leaves the buffer drained (x86 locked instructions flush on
+    /// completion).
+    LockedRmw(AbsLoc),
+    /// No shared-memory access (local computation, or an atomic service
+    /// rendezvous that touches no TSO-visible location).
+    Pure,
+}
+
+impl fmt::Display for MemEffect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemEffect::Load(l) => write!(f, "load {l}"),
+            MemEffect::Store(l) => write!(f, "store {l}"),
+            MemEffect::Fence => write!(f, "fence"),
+            MemEffect::LockedRmw(l) => write!(f, "locked-rmw {l}"),
+            MemEffect::Pure => write!(f, "pure"),
+        }
+    }
+}
+
 /// A CIMP command (Figure 7 of the paper).
 ///
 /// `LocalOp`, `Request` and `Response` are the atomic commands — the only
@@ -133,6 +178,7 @@ impl<S, Req, Resp> fmt::Debug for Com<S, Req, Resp> {
 /// the model checker relies on.
 pub struct Program<S, Req, Resp> {
     coms: Vec<Com<S, Req, Resp>>,
+    effects: Vec<Option<MemEffect>>,
     entry: Option<ComId>,
 }
 
@@ -156,6 +202,7 @@ impl<S, Req, Resp> Program<S, Req, Resp> {
     pub fn new() -> Self {
         Program {
             coms: Vec::new(),
+            effects: Vec::new(),
             entry: None,
         }
     }
@@ -196,7 +243,30 @@ impl<S, Req, Resp> Program<S, Req, Resp> {
     fn push(&mut self, com: Com<S, Req, Resp>) -> ComId {
         let id = ComId(u32::try_from(self.coms.len()).expect("program too large"));
         self.coms.push(com);
+        self.effects.push(None);
         id
+    }
+
+    /// Attaches a static memory-effect summary to the command at `id` and
+    /// returns `id` for chaining. Effects feed the `gc-analysis` store-buffer
+    /// dataflow; unannotated atomic commands are reported by its `A004` lint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn annotate(&mut self, id: ComId, effect: MemEffect) -> ComId {
+        assert!(id.index() < self.coms.len(), "annotate: unknown ComId");
+        self.effects[id.index()] = Some(effect);
+        id
+    }
+
+    /// The memory-effect summary of the command at `id`, if one was attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn effect(&self, id: ComId) -> Option<MemEffect> {
+        self.effects[id.index()]
     }
 
     /// Adds a non-deterministic local operation.
@@ -377,6 +447,12 @@ impl<S, Req, Resp> Program<S, Req, Resp> {
         self.push(Com::Choose(branches))
     }
 
+    /// All command ids in the arena, in allocation order. Static analyses
+    /// use this to sweep for commands not reachable from the entry point.
+    pub fn com_ids(&self) -> impl Iterator<Item = ComId> {
+        (0..self.coms.len()).map(|i| ComId(i as u32))
+    }
+
     /// The label of an atomic command, if `id` refers to one.
     pub fn label(&self, id: ComId) -> Option<Label> {
         match self.com(id) {
@@ -425,5 +501,18 @@ mod tests {
     fn empty_choose_panics() {
         let mut p = P::new();
         let _ = p.choose([]);
+    }
+
+    #[test]
+    fn effects_default_to_none_and_annotate() {
+        let mut p = P::new();
+        let a = p.skip("a");
+        let b = p.skip("b");
+        assert_eq!(p.effect(a), None);
+        let a2 = p.annotate(a, MemEffect::Store("x"));
+        assert_eq!(a2, a);
+        assert_eq!(p.effect(a), Some(MemEffect::Store("x")));
+        assert_eq!(p.effect(b), None);
+        assert_eq!(MemEffect::Load("y").to_string(), "load y");
     }
 }

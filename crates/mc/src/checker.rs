@@ -1,11 +1,7 @@
 //! The checker front-end: configuration + strategy + properties.
 
-use std::time::Duration;
-
 use crate::config::{CheckerConfig, Strategy};
-#[allow(deprecated)]
-use crate::outcome::WalkOutcome;
-use crate::outcome::{Outcome, Stats};
+use crate::outcome::Outcome;
 use crate::property::Property;
 use crate::{bfs, walk, TransitionSystem};
 
@@ -61,6 +57,11 @@ impl<S> Checker<S> {
 
     /// Runs the configured strategy over `ts`.
     ///
+    /// If [`CheckerConfig::static_precheck`] is set and reports any
+    /// diagnostics, exploration is skipped entirely and the run returns
+    /// [`Outcome::PrecheckFailed`] — the static analyzer has already found
+    /// a problem, so there is no point paying for the state space.
+    ///
     /// With [`Strategy::Bfs`] this is an exhaustive level-synchronous
     /// search whose state counts, verdicts and (shortest) counterexample
     /// traces are identical for every thread count; with
@@ -69,6 +70,12 @@ impl<S> Checker<S> {
     where
         TS: TransitionSystem<State = S>,
     {
+        if let Some(precheck) = &self.config.static_precheck {
+            let diagnostics = precheck();
+            if !diagnostics.is_empty() {
+                return Outcome::PrecheckFailed { diagnostics };
+            }
+        }
         match self.strategy {
             Strategy::Bfs { threads } => bfs::run(
                 &self.config,
@@ -78,86 +85,5 @@ impl<S> Checker<S> {
             ),
             Strategy::RandomWalk { steps, seed } => walk::run(&self.properties, ts, steps, seed),
         }
-    }
-
-    // --- Deprecated builder shims over the pre-`CheckerConfig` API ------
-
-    /// Sets [`CheckerConfig::max_states`].
-    #[deprecated(since = "0.2.0", note = "set `CheckerConfig::max_states` instead")]
-    pub fn max_states(mut self, n: usize) -> Self {
-        self.config.max_states = n;
-        self
-    }
-
-    /// Sets [`CheckerConfig::max_depth`].
-    #[deprecated(since = "0.2.0", note = "set `CheckerConfig::max_depth` instead")]
-    pub fn max_depth(mut self, d: usize) -> Self {
-        self.config.max_depth = d;
-        self
-    }
-
-    /// Sets [`CheckerConfig::time_limit`].
-    #[deprecated(since = "0.2.0", note = "set `CheckerConfig::time_limit` instead")]
-    pub fn time_limit(mut self, t: Duration) -> Self {
-        self.config.time_limit = Some(t);
-        self
-    }
-
-    /// Sets [`CheckerConfig::forbid_deadlock`].
-    #[deprecated(since = "0.2.0", note = "set `CheckerConfig::forbid_deadlock` instead")]
-    pub fn forbid_deadlock(mut self, forbid: bool) -> Self {
-        self.config.forbid_deadlock = forbid;
-        self
-    }
-
-    /// Sets [`CheckerConfig::hash_compact`].
-    #[deprecated(since = "0.2.0", note = "set `CheckerConfig::hash_compact` instead")]
-    pub fn hash_compact(mut self, compact: bool) -> Self {
-        self.config.hash_compact = compact;
-        self
-    }
-}
-
-/// Explores the full state space without properties, returning the
-/// statistics.
-#[deprecated(
-    since = "0.2.0",
-    note = "run a property-less `Checker` and take `Outcome::stats`"
-)]
-pub fn explore<TS>(ts: &TS) -> Stats
-where
-    TS: TransitionSystem,
-{
-    Checker::new().run(ts).stats()
-}
-
-/// Walks `ts` randomly for at most `max_steps` transitions.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Strategy::RandomWalk` with `Checker::run`, which reports a unified `Outcome`"
-)]
-#[allow(deprecated)]
-pub fn random_walk<TS>(
-    ts: &TS,
-    properties: &[Property<TS::State>],
-    max_steps: usize,
-    seed: u64,
-) -> WalkOutcome<TS>
-where
-    TS: TransitionSystem,
-{
-    // The legacy signature borrows its properties, so call the walk engine
-    // directly rather than moving them into a `Checker`.
-    match walk::run(properties, ts, max_steps, seed) {
-        Outcome::BoundReached { stats, .. } => WalkOutcome::Completed {
-            steps: stats.transitions,
-        },
-        Outcome::Violated {
-            property, trace, ..
-        } => WalkOutcome::Violated { property, trace },
-        Outcome::Deadlock { stats, .. } => WalkOutcome::Stuck {
-            steps: stats.transitions,
-        },
-        Outcome::Verified(_) => unreachable!("walks never verify"),
     }
 }

@@ -1,6 +1,19 @@
 //! Checker configuration: bounds, dedup mode and exploration strategy.
 
+use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
+
+use crate::outcome::PrecheckDiagnostic;
+
+/// A static pre-pass run by [`Checker::run`](crate::Checker::run) before
+/// any state exploration. Returning a non-empty diagnostic list aborts the
+/// run with [`Outcome::PrecheckFailed`](crate::Outcome::PrecheckFailed).
+///
+/// The closure takes no arguments: it captures whatever artefact it
+/// analyses (typically the CIMP programs the transition system was built
+/// from), keeping `mc` free of any dependency on the analyzer crate.
+pub type Precheck = Arc<dyn Fn() -> Vec<PrecheckDiagnostic> + Send + Sync>;
 
 /// Bounds and dedup mode for a [`Checker`](crate::Checker) run.
 ///
@@ -16,7 +29,7 @@ use std::time::Duration;
 /// };
 /// assert_eq!(cfg.max_depth, usize::MAX);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct CheckerConfig {
     /// Cap on the number of distinct states to visit. Hitting it yields
     /// [`Outcome::BoundReached`](crate::Outcome::BoundReached).
@@ -36,11 +49,51 @@ pub struct CheckerConfig {
     /// and the mode is reserved for large sweeps whose results are
     /// reported as hash-compacted.
     pub hash_compact: bool,
+    /// An optional static pre-pass (see [`Precheck`]). When set, it runs
+    /// before exploration and any diagnostic it reports short-circuits the
+    /// run into [`Outcome::PrecheckFailed`](crate::Outcome::PrecheckFailed).
+    pub static_precheck: Option<Precheck>,
 }
+
+impl fmt::Debug for CheckerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckerConfig")
+            .field("max_states", &self.max_states)
+            .field("max_depth", &self.max_depth)
+            .field("time_limit", &self.time_limit)
+            .field("forbid_deadlock", &self.forbid_deadlock)
+            .field("hash_compact", &self.hash_compact)
+            .field(
+                "static_precheck",
+                &self.static_precheck.as_ref().map(|_| "<fn>"),
+            )
+            .finish()
+    }
+}
+
+impl PartialEq for CheckerConfig {
+    /// Prechecks are opaque closures: two configs compare equal only when
+    /// they share the *same* precheck (pointer identity) or both lack one.
+    fn eq(&self, other: &Self) -> bool {
+        let precheck_eq = match (&self.static_precheck, &other.static_precheck) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.max_states == other.max_states
+            && self.max_depth == other.max_depth
+            && self.time_limit == other.time_limit
+            && self.forbid_deadlock == other.forbid_deadlock
+            && self.hash_compact == other.hash_compact
+            && precheck_eq
+    }
+}
+
+impl Eq for CheckerConfig {}
 
 impl Default for CheckerConfig {
     /// No properties of its own, a generous state bound (64 million), no
-    /// depth/time bounds, deadlock allowed, exact dedup.
+    /// depth/time bounds, deadlock allowed, exact dedup, no precheck.
     fn default() -> Self {
         CheckerConfig {
             max_states: 64_000_000,
@@ -48,6 +101,7 @@ impl Default for CheckerConfig {
             time_limit: None,
             forbid_deadlock: false,
             hash_compact: false,
+            static_precheck: None,
         }
     }
 }

@@ -73,12 +73,10 @@ mod walk;
 
 use std::hash::Hash;
 
-#[allow(deprecated)]
-pub use checker::{explore, random_walk, Checker};
-pub use config::{CheckerConfig, Strategy};
+pub use checker::Checker;
+pub use config::{CheckerConfig, Precheck, Strategy};
 pub use hash::FxHasher;
-#[allow(deprecated)]
-pub use outcome::{Bound, Outcome, Stats, Trace, WalkOutcome};
+pub use outcome::{Bound, Outcome, PrecheckDiagnostic, Stats, Trace};
 pub use property::Property;
 
 /// A transition system to be explored.

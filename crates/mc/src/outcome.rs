@@ -43,6 +43,30 @@ impl fmt::Display for Bound {
     }
 }
 
+/// One diagnostic reported by a [`Precheck`](crate::Precheck) pre-pass.
+///
+/// This mirrors the analyzer's diagnostic shape without depending on the
+/// analyzer crate: a stable code (`A001`, …), the CIMP label (or other
+/// location) it anchors to, and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PrecheckDiagnostic {
+    /// Stable diagnostic code, e.g. `"A005"`.
+    pub code: String,
+    /// Where the diagnostic points (typically a CIMP label), if anywhere.
+    pub label: Option<String>,
+    /// What is wrong and, where known, how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for PrecheckDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.label {
+            Some(l) => write!(f, "{} [{}]: {}", self.code, l, self.message),
+            None => write!(f, "{}: {}", self.code, self.message),
+        }
+    }
+}
+
 /// A counterexample: the actions leading from an initial state to the
 /// violating state, and the violating state itself.
 #[derive(Clone)]
@@ -97,6 +121,12 @@ pub enum Outcome<TS: TransitionSystem> {
         /// Statistics at the point of detection.
         stats: Stats,
     },
+    /// The [`static_precheck`](crate::CheckerConfig::static_precheck)
+    /// reported diagnostics, so no exploration was attempted at all.
+    PrecheckFailed {
+        /// The static diagnostics, in the analyzer's order.
+        diagnostics: Vec<PrecheckDiagnostic>,
+    },
 }
 
 impl<TS: TransitionSystem> fmt::Debug for Outcome<TS>
@@ -127,6 +157,10 @@ where
                 .field("trace", trace)
                 .field("stats", stats)
                 .finish(),
+            Outcome::PrecheckFailed { diagnostics } => f
+                .debug_struct("PrecheckFailed")
+                .field("diagnostics", diagnostics)
+                .finish(),
         }
     }
 }
@@ -142,13 +176,15 @@ impl<TS: TransitionSystem> Outcome<TS> {
         matches!(self, Outcome::Violated { .. })
     }
 
-    /// The exploration statistics, whatever the outcome.
+    /// The exploration statistics, whatever the outcome. A failed precheck
+    /// never explored anything, so its statistics are all-zero.
     pub fn stats(&self) -> Stats {
         match self {
             Outcome::Verified(s) => *s,
             Outcome::Violated { stats, .. }
             | Outcome::BoundReached { stats, .. }
             | Outcome::Deadlock { stats, .. } => *stats,
+            Outcome::PrecheckFailed { .. } => Stats::default(),
         }
     }
 
@@ -168,14 +204,25 @@ impl<TS: TransitionSystem> Outcome<TS> {
         }
     }
 
+    /// The static diagnostics, if the precheck failed.
+    pub fn precheck_diagnostics(&self) -> Option<&[PrecheckDiagnostic]> {
+        match self {
+            Outcome::PrecheckFailed { diagnostics } => Some(diagnostics),
+            _ => None,
+        }
+    }
+
     /// The one-line verdict: `VERIFIED`, `VIOLATED <property>`,
-    /// `BOUNDED (<bound>)` or `DEADLOCK`.
+    /// `BOUNDED (<bound>)`, `DEADLOCK` or `PRECHECK (<n> diagnostics)`.
     pub fn verdict(&self) -> String {
         match self {
             Outcome::Verified(_) => "VERIFIED".to_string(),
             Outcome::Violated { property, .. } => format!("VIOLATED {property}"),
             Outcome::BoundReached { bound, .. } => format!("BOUNDED ({bound})"),
             Outcome::Deadlock { .. } => "DEADLOCK".to_string(),
+            Outcome::PrecheckFailed { diagnostics } => {
+                format!("PRECHECK ({} diagnostics)", diagnostics.len())
+            }
         }
     }
 
@@ -200,6 +247,11 @@ impl<TS: TransitionSystem> Outcome<TS> {
                 out.push('\n');
             }
         }
+        if let Some(diagnostics) = self.precheck_diagnostics() {
+            for d in diagnostics {
+                let _ = writeln!(out, "  {d}");
+            }
+        }
         out
     }
 
@@ -216,40 +268,5 @@ impl<TS: TransitionSystem> Outcome<TS> {
             }
             out
         })
-    }
-}
-
-/// The result of a random walk, as returned by the deprecated
-/// [`random_walk`](crate::random_walk) shim.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Strategy::RandomWalk` with `Checker::run`, which reports a unified `Outcome`"
-)]
-pub enum WalkOutcome<TS: TransitionSystem> {
-    /// The walk completed `steps` transitions without violating anything.
-    Completed {
-        /// Transitions taken.
-        steps: usize,
-    },
-    /// A property failed along the walk (the trace is the walk prefix —
-    /// *not* minimal, unlike the checker's BFS counterexamples).
-    Violated {
-        /// Name of the violated property.
-        property: &'static str,
-        /// The walk up to and including the violating state.
-        trace: Trace<TS>,
-    },
-    /// The walk reached a state with no successors.
-    Stuck {
-        /// Transitions taken before getting stuck.
-        steps: usize,
-    },
-}
-
-#[allow(deprecated)]
-impl<TS: TransitionSystem> WalkOutcome<TS> {
-    /// Whether the walk finished without violation (completed or stuck).
-    pub fn is_clean(&self) -> bool {
-        !matches!(self, WalkOutcome::Violated { .. })
     }
 }

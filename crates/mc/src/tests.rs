@@ -398,33 +398,76 @@ fn report_renders_verdict_stats_and_trace() {
     assert!(!verified.contains("counterexample"));
 }
 
-// --- Deprecated shims ---------------------------------------------------
+// --- Static precheck ----------------------------------------------------
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_builder_and_free_functions_still_work() {
-    let ring = Ring {
-        n: 3,
-        max_hops: 100,
-    };
-    let out = Checker::new().max_states(5).hash_compact(true).run(&ring);
-    assert!(matches!(
-        out,
-        Outcome::BoundReached {
-            bound: Bound::States(5),
-            ..
+fn failing_precheck_short_circuits_exploration() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let explored = Arc::new(AtomicBool::new(false));
+    struct Spy(Arc<std::sync::atomic::AtomicBool>);
+    impl TransitionSystem for Spy {
+        type State = u8;
+        type Action = ();
+        fn initial_states(&self) -> Vec<u8> {
+            self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+            vec![0]
         }
-    ));
-
-    let stats = explore(&Ring { n: 4, max_hops: 8 });
-    assert_eq!(stats.states, 9);
-
-    let ring = Ring { n: 3, max_hops: 50 };
-    let bad = [Property::new("never-holder-2", |s: &(u8, u8)| s.0 != 2)];
-    match random_walk(&ring, &bad, 100, 42) {
-        WalkOutcome::Violated { property, .. } => assert_eq!(property, "never-holder-2"),
-        _ => panic!("the ring walk always reaches holder 2"),
+        fn successors(&self, _: &u8) -> Vec<((), u8)> {
+            vec![]
+        }
     }
-    let good = [Property::new("hops-bounded", |s: &(u8, u8)| s.1 <= 50)];
-    assert!(random_walk(&ring, &good, 100, 7).is_clean());
+
+    let diag = PrecheckDiagnostic {
+        code: "A005".into(),
+        label: Some("sb-load".into()),
+        message: "TSO store-buffer hazard; insert an mfence".into(),
+    };
+    let diag_for_closure = diag.clone();
+    let out = Checker::with_config(CheckerConfig {
+        static_precheck: Some(Arc::new(move || vec![diag_for_closure.clone()])),
+        ..CheckerConfig::default()
+    })
+    .run(&Spy(explored.clone()));
+
+    assert!(
+        !explored.load(Ordering::SeqCst),
+        "must not touch the system"
+    );
+    assert!(!out.is_verified());
+    assert_eq!(out.precheck_diagnostics(), Some(&[diag][..]));
+    assert_eq!(out.stats(), Stats::default());
+    assert_eq!(out.verdict(), "PRECHECK (1 diagnostics)");
+    let report = out.report_with(|_| unreachable!("no trace to render"));
+    assert!(report.contains("A005 [sb-load]: TSO store-buffer hazard"));
+}
+
+#[test]
+fn clean_precheck_proceeds_to_exploration() {
+    let ring = Ring { n: 3, max_hops: 6 };
+    let out = Checker::with_config(CheckerConfig {
+        static_precheck: Some(std::sync::Arc::new(Vec::new)),
+        ..CheckerConfig::default()
+    })
+    .run(&ring);
+    assert!(out.is_verified());
+    assert_eq!(out.stats().states, 7);
+}
+
+#[test]
+fn config_equality_is_precheck_identity() {
+    let pre: Precheck = std::sync::Arc::new(Vec::new);
+    let a = CheckerConfig {
+        static_precheck: Some(pre.clone()),
+        ..CheckerConfig::default()
+    };
+    assert_eq!(a, a.clone(), "shared closure: equal");
+    let b = CheckerConfig {
+        static_precheck: Some(std::sync::Arc::new(Vec::new)),
+        ..CheckerConfig::default()
+    };
+    assert_ne!(a, b, "distinct closures: unequal");
+    assert_eq!(CheckerConfig::default(), CheckerConfig::default());
+    assert_ne!(a, CheckerConfig::default());
 }

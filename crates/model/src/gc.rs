@@ -1,11 +1,12 @@
 //! The collector process: Figure 2's non-terminating control loop, with
 //! the mark loop of Figure 10 and the handshake protocol of §3.1.
 
-use cimp::ComId;
+use cimp::{ComId, MemEffect};
 use gc_types::Ref;
 
 use crate::config::ModelConfig;
 use crate::mark::build_mark;
+use crate::mark::regions::{FA, FIELD, FLAG, FM, PHASE};
 use crate::state::Local;
 use crate::vocab::{Addr, HsType, Phase, Req, ReqKind, Resp, Val};
 use crate::Prog;
@@ -32,6 +33,14 @@ fn build_handshake(p: &mut Prog, cfg: &ModelConfig, ty: HsType) -> ComId {
             vec![l2]
         },
     );
+    p.annotate(
+        begin,
+        if cfg.handshake_fences {
+            MemEffect::Fence
+        } else {
+            MemEffect::Pure
+        },
+    );
 
     let pend = p.request(
         "gc-hs-pend",
@@ -45,6 +54,7 @@ fn build_handshake(p: &mut Prog, cfg: &ModelConfig, ty: HsType) -> ComId {
             vec![l2]
         },
     );
+    p.annotate(pend, MemEffect::Pure);
     let pend_all = p.while_do(move |l: &Local| l.gc().hs_idx < mutators, pend);
 
     // Await completion; the response hands over the staged work-list
@@ -65,20 +75,23 @@ fn build_handshake(p: &mut Prog, cfg: &ModelConfig, ty: HsType) -> ComId {
             vec![l2]
         },
     );
+    p.annotate(awaited, MemEffect::Pure);
 
     p.seq([begin, pend_all, awaited])
 }
 
-/// A TSO store of a control variable by the collector.
+/// A TSO store of a control variable by the collector. `effect` names the
+/// abstract region written, for the static analyzer.
 fn build_ctrl_write(
     p: &mut Prog,
     cfg: &ModelConfig,
     label: cimp::Label,
+    effect: MemEffect,
     addr_val: impl Fn(&Local) -> (Addr, Val) + Send + Sync + Copy + 'static,
     update: impl Fn(&mut Local) + Send + Sync + 'static,
 ) -> ComId {
     let tid = cfg.gc_tid();
-    p.request(
+    let w = p.request(
         label,
         move |l: &Local| {
             let (addr, val) = addr_val(l);
@@ -92,7 +105,8 @@ fn build_ctrl_write(
             update(&mut l2);
             vec![l2]
         },
-    )
+    );
+    p.annotate(w, effect)
 }
 
 /// Builds the collector's scan of one grey object: load each field via TSO
@@ -109,6 +123,7 @@ fn build_scan(p: &mut Prog, cfg: &ModelConfig) -> ComId {
         g.scan_src = Some(g.wl.iter().next().expect("mark loop guard"));
         g.scan_fld = 0;
     });
+    p.annotate(pick, MemEffect::Pure);
 
     let load_field = p.request(
         "gc-load-field",
@@ -130,6 +145,7 @@ fn build_scan(p: &mut Prog, cfg: &ModelConfig) -> ComId {
             vec![l2]
         },
     );
+    p.annotate(load_field, MemEffect::Load(FIELD));
     let mark = build_mark(p, cfg);
     let field_body = p.seq([load_field, mark]);
     let fields_loop = p.while_do(move |l: &Local| l.gc().scan_fld < fields, field_body);
@@ -141,6 +157,7 @@ fn build_scan(p: &mut Prog, cfg: &ModelConfig) -> ComId {
         let src = g.scan_src.take().expect("scanning");
         g.wl.remove(src);
     });
+    p.annotate(blacken, MemEffect::Pure);
 
     p.seq([pick, fields_loop, blacken])
 }
@@ -165,6 +182,7 @@ fn build_sweep(p: &mut Prog, cfg: &ModelConfig) -> ComId {
             vec![l2]
         },
     );
+    p.annotate(snapshot, MemEffect::Pure);
 
     // Load the flag of the lowest remaining reference (choice of `ref` is
     // folded into the load's request computation).
@@ -186,6 +204,7 @@ fn build_sweep(p: &mut Prog, cfg: &ModelConfig) -> ComId {
             vec![l2]
         },
     );
+    p.annotate(load_flag, MemEffect::Load(FLAG));
 
     let free = p.request(
         "gc-free",
@@ -202,12 +221,15 @@ fn build_sweep(p: &mut Prog, cfg: &ModelConfig) -> ComId {
             vec![l2]
         },
     );
+    // Reclamation is axiomatised as atomic, like allocation.
+    p.annotate(free, MemEffect::Pure);
     let retain = p.assign("gc-sweep-retain", |l: &mut Local| {
         let g = l.gc_mut();
         let r = g.sweep_cur.take().expect("sweeping");
         g.sweep_refs.remove(&r);
         g.sweep_flag = None;
     });
+    p.annotate(retain, MemEffect::Pure);
     // Free when the flag differs from f_M (white) — the collector knows
     // f_M exactly (it is the sole writer).
     let test = p.if_else(
@@ -232,6 +254,7 @@ pub fn gc_program(cfg: &ModelConfig) -> Prog {
         &mut p,
         cfg,
         "gc-flip-fM",
+        MemEffect::Store(FM),
         |l| (Addr::FM, Val::Bool(!l.gc().fm)),
         |l| {
             let g = l.gc_mut();
@@ -240,7 +263,14 @@ pub fn gc_program(cfg: &ModelConfig) -> Prog {
     );
 
     let set_fa = |p: &mut Prog, label| {
-        build_ctrl_write(p, cfg, label, |l| (Addr::FA, Val::Bool(l.gc().fm)), |_| ())
+        build_ctrl_write(
+            p,
+            cfg,
+            label,
+            MemEffect::Store(FA),
+            |l| (Addr::FA, Val::Bool(l.gc().fm)),
+            |_| (),
+        )
     };
 
     let phase_write = |p: &mut Prog, label, phase: Phase| {
@@ -248,6 +278,7 @@ pub fn gc_program(cfg: &ModelConfig) -> Prog {
             p,
             cfg,
             label,
+            MemEffect::Store(PHASE),
             move |_| (Addr::Phase, Val::Phase(phase)),
             |_| (),
         )

@@ -27,17 +27,38 @@
 //! check in step 2: two racing markers may then both claim victory, which
 //! the `valid_W_inv` work-list-disjointness check catches.
 
-use cimp::ComId;
+use cimp::{ComId, MemEffect};
 
 use crate::config::ModelConfig;
 use crate::state::{Local, MarkScratch};
 use crate::vocab::{Addr, Phase, Req, ReqKind, Resp, Val};
 use crate::Prog;
 
+/// Abstract shared-memory regions of the model, used for the static
+/// [`MemEffect`] annotations consumed by `gc-analysis`. One region per
+/// [`Addr`](crate::vocab::Addr) constructor: the analysis does not track
+/// individual objects or fields.
+pub mod regions {
+    use cimp::AbsLoc;
+
+    /// The allocation-color flag `f_A`.
+    pub const FA: AbsLoc = "fA";
+    /// The mark-sense flag `f_M`.
+    pub const FM: AbsLoc = "fM";
+    /// The collector phase variable.
+    pub const PHASE: AbsLoc = "phase";
+    /// Any object's header mark flag.
+    pub const FLAG: AbsLoc = "flag";
+    /// Any object's reference fields.
+    pub const FIELD: AbsLoc = "field";
+}
+
 /// Appends the `mark` sub-program to `p` and returns its entry command.
 /// The issuing hardware thread is read from the local state, so one
 /// builder serves the collector and every mutator.
 pub fn build_mark(p: &mut Prog, cfg: &ModelConfig) -> ComId {
+    use regions::*;
+
     // Step 1: expected ← ¬f_M.
     let load_fm = p.request(
         "mark-load-fM",
@@ -54,6 +75,7 @@ pub fn build_mark(p: &mut Prog, cfg: &ModelConfig) -> ComId {
             vec![l2]
         },
     );
+    p.annotate(load_fm, MemEffect::Load(FM));
 
     // Step 2: the unsynchronised flag load. A mismatch ends the mark (the
     // recv clears the scratch, and the following structural `If` skips).
@@ -75,6 +97,7 @@ pub fn build_mark(p: &mut Prog, cfg: &ModelConfig) -> ComId {
             vec![l2]
         },
     );
+    p.annotate(load_flag, MemEffect::Load(FLAG));
 
     // Step 3: the phase check — barriers are inert while Idle.
     let load_phase = p.request(
@@ -95,23 +118,7 @@ pub fn build_mark(p: &mut Prog, cfg: &ModelConfig) -> ComId {
             vec![l2]
         },
     );
-
-    // Step 4 (CAS body): re-load the flag under the lock.
-    let recheck = p.request(
-        "mark-cas-load-flag",
-        |l: &Local| Req {
-            tid: l.tid(),
-            kind: ReqKind::Read(Addr::Flag(l.mark().target.expect("mark target set"))),
-        },
-        |l: &Local, beta: &Resp| {
-            let flag = beta.loaded().map(|v| v.as_bool());
-            let mut l2 = l.clone();
-            let m = l2.mark_mut();
-            // Some other thread may have marked it since step 2: we lose.
-            m.winner = flag == Some(m.expected);
-            vec![l2]
-        },
-    );
+    p.annotate(load_phase, MemEffect::Load(PHASE));
 
     // The flag store: issue `flag(target) ← f_M` and become honorary grey
     // (Figure 5 lines 8–9).
@@ -134,6 +141,7 @@ pub fn build_mark(p: &mut Prog, cfg: &ModelConfig) -> ComId {
             vec![l2]
         },
     );
+    p.annotate(set_flag, MemEffect::Store(FLAG));
 
     // Win-or-lose join. With the CAS enabled the join is the unlock, whose
     // enabling condition (drained buffer) publishes the mark before the
@@ -152,10 +160,31 @@ pub fn build_mark(p: &mut Prog, cfg: &ModelConfig) -> ComId {
     };
 
     let cas_body = if cfg.mark_cas {
+        // Step 4 (CAS body): re-load the flag under the lock. The re-load
+        // runs with the bus lock held but the store buffer possibly
+        // non-empty (the drain is forced by the unlock, not the lock), so
+        // it is an ordinary load; the unlock carries the fence effect.
+        let recheck = p.request(
+            "mark-cas-load-flag",
+            |l: &Local| Req {
+                tid: l.tid(),
+                kind: ReqKind::Read(Addr::Flag(l.mark().target.expect("mark target set"))),
+            },
+            |l: &Local, beta: &Resp| {
+                let flag = beta.loaded().map(|v| v.as_bool());
+                let mut l2 = l.clone();
+                let m = l2.mark_mut();
+                // Some other thread may have marked it since step 2: we lose.
+                m.winner = flag == Some(m.expected);
+                vec![l2]
+            },
+        );
+        p.annotate(recheck, MemEffect::Load(FLAG));
         let lock = p.request_ignore("mark-lock", |l: &Local| Req {
             tid: l.tid(),
             kind: ReqKind::Lock,
         });
+        p.annotate(lock, MemEffect::Pure);
         let store_if_won = p.if_then(|l: &Local| l.mark().winner, set_flag);
         let unlock = p.request(
             "mark-unlock",
@@ -165,6 +194,9 @@ pub fn build_mark(p: &mut Prog, cfg: &ModelConfig) -> ComId {
             },
             move |l: &Local, _beta: &Resp| finish(l),
         );
+        // The unlock is enabled only once this thread's buffer has drained
+        // (§3.2): it publishes the mark exactly like an mfence would.
+        p.annotate(unlock, MemEffect::Fence);
         p.seq([lock, recheck, store_if_won, unlock])
     } else {
         // Ablation: an unsynchronised read-then-write marker. The initial
@@ -174,7 +206,9 @@ pub fn build_mark(p: &mut Prog, cfg: &ModelConfig) -> ComId {
         let claim = p.assign("mark-racy-claim", |l: &mut Local| {
             l.mark_mut().winner = true;
         });
+        p.annotate(claim, MemEffect::Pure);
         let racy_finish = p.local_op("mark-racy-finish", move |l: &Local| finish(l));
+        p.annotate(racy_finish, MemEffect::Pure);
         p.seq([claim, set_flag, racy_finish])
     };
 

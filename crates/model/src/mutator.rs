@@ -4,11 +4,12 @@
 //! handshakes (§3.1). Every client of the collector is expected to be a
 //! refinement of this process.
 
-use cimp::ComId;
+use cimp::{ComId, MemEffect};
 use gc_types::Ref;
 
 use crate::config::ModelConfig;
 use crate::mark::build_mark;
+use crate::mark::regions::FIELD;
 use crate::state::{Local, MutState};
 use crate::vocab::{Addr, HsType, Req, ReqKind, Resp, Val};
 use crate::Prog;
@@ -24,7 +25,7 @@ pub fn initial_mut_state(cfg: &ModelConfig, m: usize) -> MutState {
 /// request values.
 fn build_load(p: &mut Prog, cfg: &ModelConfig) -> ComId {
     let fields = cfg.fields as u8;
-    p.request_nd(
+    let load = p.request_nd(
         "mut-load",
         move |l: &Local| {
             let m = l.mutator();
@@ -51,7 +52,8 @@ fn build_load(p: &mut Prog, cfg: &ModelConfig) -> ComId {
             }
             vec![l2]
         },
-    )
+    );
+    p.annotate(load, MemEffect::Load(FIELD))
 }
 
 /// `Store(dst ∈ roots, src ∈ roots, fld)` (Figure 6 lines 7–11):
@@ -70,7 +72,7 @@ fn build_store(p: &mut Prog, cfg: &ModelConfig) -> ComId {
     let fields = cfg.fields as u8;
 
     let begin = if cfg.deletion_barrier {
-        p.request_nd(
+        let b = p.request_nd(
             "mut-store-begin",
             move |l: &Local| {
                 let m = l.mutator();
@@ -111,10 +113,11 @@ fn build_store(p: &mut Prog, cfg: &ModelConfig) -> ComId {
                     })
                     .collect()
             },
-        )
+        );
+        p.annotate(b, MemEffect::Load(FIELD))
     } else {
         // Ablation: no deletion barrier, hence no load of the old value.
-        p.local_op("mut-store-begin-unbarriered", move |l: &Local| {
+        let b = p.local_op("mut-store-begin-unbarriered", move |l: &Local| {
             let m = l.mutator();
             let mut out = Vec::new();
             for &src in &m.roots {
@@ -132,7 +135,8 @@ fn build_store(p: &mut Prog, cfg: &ModelConfig) -> ComId {
                 }
             }
             out
-        })
+        });
+        p.annotate(b, MemEffect::Pure)
     };
 
     let mut steps = vec![begin];
@@ -145,6 +149,7 @@ fn build_store(p: &mut Prog, cfg: &ModelConfig) -> ComId {
             let m = l.mutator_mut();
             m.mark.target = m.st_dst;
         });
+        p.annotate(prime, MemEffect::Pure);
         let mark = build_mark(p, cfg);
         steps.push(prime);
         steps.push(mark);
@@ -172,13 +177,14 @@ fn build_store(p: &mut Prog, cfg: &ModelConfig) -> ComId {
             vec![l2]
         },
     );
+    p.annotate(write, MemEffect::Store(FIELD));
     steps.push(write);
     p.seq(steps)
 }
 
 /// `Alloc` (Figure 6 lines 13–18): an atomic allocation, mark sense `f_A`.
 fn build_alloc(p: &mut Prog) -> ComId {
-    p.request(
+    let alloc = p.request(
         "mut-alloc",
         |l: &Local| Req {
             tid: 1 + l.mutator().idx as usize,
@@ -192,12 +198,15 @@ fn build_alloc(p: &mut Prog) -> ComId {
             l2.mutator_mut().roots.insert(*r);
             vec![l2]
         },
-    )
+    );
+    // Allocation is axiomatised as atomic (§3.1): the fresh object's flag
+    // and fields are initialised directly in memory, never buffered.
+    p.annotate(alloc, MemEffect::Pure)
 }
 
 /// `Discard(ref ∈ roots)` (Figure 6 lines 20–21).
 fn build_discard(p: &mut Prog) -> ComId {
-    p.local_op("mut-discard", |l: &Local| {
+    let discard = p.local_op("mut-discard", |l: &Local| {
         let m = l.mutator();
         m.roots
             .iter()
@@ -207,14 +216,22 @@ fn build_discard(p: &mut Prog) -> ComId {
                 l2
             })
             .collect()
-    })
+    });
+    p.annotate(discard, MemEffect::Pure)
 }
 
 /// The mutator's side of a handshake: poll the pending bit, load-fence, do
 /// the requested work (marking roots for a get-roots round), then transfer
 /// `W_m` and clear the bit (with the completing store fence).
 fn build_handshake(p: &mut Prog, cfg: &ModelConfig) -> ComId {
-    let _ = cfg; // the fence discipline lives in the system's responses
+    // The fence discipline lives in the system's responses (sys-hs-poll /
+    // sys-hs-complete block on a non-empty buffer); the static annotation
+    // mirrors it so the analyzer sees the same discipline the checker does.
+    let hs_effect = if cfg.handshake_fences {
+        MemEffect::Fence
+    } else {
+        MemEffect::Pure
+    };
     let poll = p.request(
         "mut-hs-poll",
         |l: &Local| Req {
@@ -234,6 +251,7 @@ fn build_handshake(p: &mut Prog, cfg: &ModelConfig) -> ComId {
             vec![l2]
         },
     );
+    p.annotate(poll, hs_effect);
 
     let pick_root = p.assign("mut-hs-pick-root", |l: &mut Local| {
         let m = l.mutator_mut();
@@ -241,6 +259,7 @@ fn build_handshake(p: &mut Prog, cfg: &ModelConfig) -> ComId {
         m.roots_to_mark.remove(&r);
         m.mark.target = Some(r);
     });
+    p.annotate(pick_root, MemEffect::Pure);
     let mark = build_mark(p, cfg);
     let mark_root = p.seq([pick_root, mark]);
     let mark_roots = p.while_do(|l: &Local| !l.mutator().roots_to_mark.is_empty(), mark_root);
@@ -283,16 +302,18 @@ fn build_handshake(p: &mut Prog, cfg: &ModelConfig) -> ComId {
             vec![l2]
         },
     );
+    p.annotate(complete, hs_effect);
 
     p.seq([poll, mark_roots, complete])
 }
 
 /// A spontaneous `MFENCE` (part of the mutator vocabulary in §3.1).
 fn build_mfence(p: &mut Prog) -> ComId {
-    p.request_ignore("mut-mfence", |l: &Local| Req {
+    let f = p.request_ignore("mut-mfence", |l: &Local| Req {
         tid: 1 + l.mutator().idx as usize,
         kind: ReqKind::MFence,
-    })
+    });
+    p.annotate(f, MemEffect::Fence)
 }
 
 /// Builds mutator `m`'s full program: `LOOP (op₁ ⊓ op₂ ⊓ …)`.

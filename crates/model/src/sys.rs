@@ -286,7 +286,7 @@ pub fn sys_program(cfg: &ModelConfig) -> Prog {
         vec![(l2, Resp::Void)]
     });
 
-    let body = p.choose([
+    let branches = [
         read,
         write,
         mfence,
@@ -301,7 +301,14 @@ pub fn sys_program(cfg: &ModelConfig) -> Prog {
         hs_await,
         hs_poll,
         hs_complete,
-    ]);
+    ];
+    // The memory itself lives in the system's local state: its transitions
+    // never traverse a store buffer of their own, so every branch is pure
+    // from the analyzer's point of view. The requesters carry the effects.
+    for b in branches {
+        p.annotate(b, cimp::MemEffect::Pure);
+    }
+    let body = p.choose(branches);
     let entry = p.loop_forever(body);
     p.set_entry(entry);
     p

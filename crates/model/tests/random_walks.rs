@@ -35,6 +35,7 @@ fn walk_clean(cfg: ModelConfig, steps: usize, seeds: std::ops::Range<u64>) {
             }
             Outcome::BoundReached { .. } => {}
             Outcome::Verified(_) => unreachable!("walks never verify"),
+            Outcome::PrecheckFailed { .. } => unreachable!("no precheck configured"),
         }
     }
 }

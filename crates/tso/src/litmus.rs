@@ -110,6 +110,16 @@ impl LitmusTest {
         self.name
     }
 
+    /// The initial memory bindings, in insertion order.
+    pub fn init_bindings(&self) -> &[(&'static str, u32)] {
+        &self.init
+    }
+
+    /// The per-thread instruction sequences.
+    pub fn threads(&self) -> &[Vec<Instr>] {
+        &self.threads
+    }
+
     /// Adds an initial memory binding.
     #[must_use]
     pub fn init(mut self, addr: &'static str, value: u32) -> Self {
@@ -380,6 +390,22 @@ pub fn two_plus_two_w() -> LitmusTest {
         .init("y", 0)
         .thread(vec![Instr::Write("x", 1), Instr::Write("y", 1)])
         .thread(vec![Instr::Write("y", 2), Instr::Write("x", 2)])
+}
+
+/// Every named litmus test in this module, for suite-wide harnesses (the
+/// static analyzer's oracle-agreement tests iterate over exactly this set).
+pub fn suite() -> Vec<LitmusTest> {
+    vec![
+        sb(),
+        sb_fenced(),
+        mp(),
+        lb(),
+        n6(),
+        iriw(),
+        r_shape(),
+        two_plus_two_w(),
+        cas_race(),
+    ]
 }
 
 /// Two threads race a CAS on the same location: exactly one must win.

@@ -1,0 +1,14 @@
+//! `gc-analyze`: static analysis of the CIMP GC model and litmus suite.
+//!
+//! Thin wrapper over [`gc_analysis::cli::run`]; see `--help` for modes,
+//! options and exit codes.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    let code = gc_analysis::cli::run(&args, &mut out);
+    print!("{out}");
+    ExitCode::from(u8::try_from(code).unwrap_or(2))
+}

@@ -14,12 +14,16 @@
 //!   invariants as executable predicates (Figs. 2–6, 9, 10; §3.2).
 //! * [`mc`] — the explicit-state model checker used to re-establish the
 //!   headline safety theorem on bounded configurations.
+//! * [`analysis`] — the static analyzer behind the `gc-analyze` binary:
+//!   CFGs over CIMP, the TSO store-buffer dataflow with fence suggestions,
+//!   and the GC-protocol lints (§3 fence discipline, Fig. 6 barriers).
 //! * [`gc`] — the executable on-the-fly mark-sweep collector runtime.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the per-figure reproduction record.
 
 pub use cimp;
+pub use gc_analysis as analysis;
 pub use gc_model as model;
 pub use gc_types as types;
 pub use mc;

@@ -1,0 +1,154 @@
+//! Integration tests for the `gc-analysis` static analyzer: the
+//! litmus-suite oracle agreement, the GC-model regression (zero
+//! diagnostics on the faithful model), and the `static_precheck` wiring
+//! into the model checker.
+
+use gc_analysis::diag::{A003, A005};
+use gc_analysis::{analyze_litmus, analyze_model, precheck, tso_relaxes};
+use gc_model::invariants::safety_property;
+use gc_model::{GcModel, ModelConfig};
+use mc::{Checker, CheckerConfig};
+use tso_model::litmus;
+
+/// The analyzer must agree with the exhaustive TSO explorer on every named
+/// litmus test: flag it iff TSO admits a register valuation SC forbids.
+/// Asymmetric disagreement in either direction is a failure.
+#[test]
+fn analyzer_agrees_with_exhaustive_oracle_on_every_litmus_test() {
+    for test in litmus::suite() {
+        let diags = analyze_litmus(&test);
+        let relaxed = tso_relaxes(&test);
+        assert_eq!(
+            !diags.is_empty(),
+            relaxed,
+            "`{}`: static analyzer says {:?}, exhaustive oracle says {}",
+            test.name(),
+            diags,
+            if relaxed { "relaxed" } else { "sc-equal" },
+        );
+    }
+}
+
+/// `sb()` must be flagged with a concrete, correctly-placed fence
+/// suggestion, and the fenced variant plus `mp()` must be accepted.
+#[test]
+fn sb_flagged_with_fence_suggestion_fenced_and_mp_accepted() {
+    let diags = analyze_litmus(&litmus::sb());
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, A005);
+    assert!(
+        diags[0]
+            .message
+            .contains("suggest an mfence immediately before"),
+        "fence suggestion missing: {}",
+        diags[0].message
+    );
+    assert!(
+        diags[0].message.contains("read-y-r0") || diags[0].message.contains("read-x-r0"),
+        "suggestion should name a concrete load label: {}",
+        diags[0].message
+    );
+    assert!(analyze_litmus(&litmus::sb_fenced()).is_empty());
+    assert!(analyze_litmus(&litmus::mp()).is_empty());
+}
+
+/// Regression: the faithful GC model produces zero `A00x` diagnostics.
+/// A new unannotated atomic command, a barrier regression, or a fence
+/// regression in the model shows up here before any exploration runs.
+#[test]
+fn faithful_gc_model_has_zero_diagnostics() {
+    for cfg in [ModelConfig::default(), ModelConfig::small(2, 3)] {
+        let diags = analyze_model(&cfg);
+        assert!(
+            diags.is_empty(),
+            "faithful model must be clean, got: {diags:#?}"
+        );
+    }
+}
+
+/// The paper's negative results, statically: each ablation that the
+/// exhaustive checker refutes with a trace is already rejected by the
+/// analyzer, with the expected code.
+#[test]
+fn ablations_are_rejected_with_expected_codes() {
+    let cases: Vec<(&str, ModelConfig, &str)> = vec![
+        (
+            "no handshake fences",
+            ModelConfig {
+                handshake_fences: false,
+                ..ModelConfig::default()
+            },
+            A005,
+        ),
+        (
+            "no mark CAS",
+            ModelConfig {
+                mark_cas: false,
+                ..ModelConfig::default()
+            },
+            A005,
+        ),
+        (
+            "no deletion barrier",
+            ModelConfig {
+                deletion_barrier: false,
+                ..ModelConfig::default()
+            },
+            A003,
+        ),
+        (
+            "no insertion barrier",
+            ModelConfig {
+                insertion_barrier: false,
+                ..ModelConfig::default()
+            },
+            A003,
+        ),
+    ];
+    for (name, cfg, code) in cases {
+        let diags = analyze_model(&cfg);
+        assert!(
+            diags.iter().any(|d| d.code == code),
+            "{name}: expected a {code} diagnostic, got {diags:#?}"
+        );
+    }
+}
+
+/// Wiring a failing precheck into the checker short-circuits exploration:
+/// zero states, `PrecheckFailed`, diagnostics preserved.
+#[test]
+fn checker_precheck_short_circuits_on_flagged_model() {
+    let mut cfg = ModelConfig::small(1, 2);
+    cfg.mark_cas = false;
+    let outcome = Checker::with_config(CheckerConfig {
+        static_precheck: Some(precheck(cfg.clone(), Vec::new())),
+        ..CheckerConfig::default()
+    })
+    .property(safety_property(&cfg))
+    .run(&GcModel::new(cfg));
+    let diags = outcome
+        .precheck_diagnostics()
+        .expect("precheck must have fired");
+    assert!(diags.iter().any(|d| d.code == A005));
+    assert_eq!(outcome.stats().states, 0);
+    assert!(!outcome.is_violated());
+}
+
+/// A clean precheck is invisible: the checker explores normally and the
+/// faithful small configuration still verifies.
+#[test]
+fn checker_precheck_passes_through_on_clean_model() {
+    let mut cfg = ModelConfig::small(1, 2);
+    cfg.ops.alloc = false;
+    cfg.ops.load = false;
+    let outcome = Checker::with_config(CheckerConfig {
+        max_states: 200_000,
+        static_precheck: Some(precheck(cfg.clone(), Vec::new())),
+        ..CheckerConfig::default()
+    })
+    .property(safety_property(&cfg))
+    .run(&GcModel::new(cfg));
+    assert!(outcome.precheck_diagnostics().is_none());
+    assert!(!outcome.is_violated());
+    assert!(outcome.stats().states > 0);
+}
