@@ -98,6 +98,29 @@ fn bench_handshake_latency() {
     }
 }
 
+/// The tracer's per-site cost in its three states: runtime-disabled (one
+/// relaxed load — the default for every instrumented hot path), enabled
+/// (encode + SPSC ring push), and enabled-with-a-full-ring (events drop;
+/// the push must stay cheap and never block). Feature-off is not a row:
+/// those builds compile the call sites out entirely.
+fn bench_trace_emit() {
+    gc_trace::disable();
+    bench_function("trace emit: runtime-disabled", |bench| {
+        bench.iter(|| gc_trace::emit(gc_trace::EventKind::Instant { id: 1, value: 7 }))
+    });
+    gc_trace::enable();
+    bench_function("trace emit: enabled (ring drains lazily)", |bench| {
+        bench.iter(|| gc_trace::emit(gc_trace::EventKind::Instant { id: 1, value: 7 }))
+    });
+    // By now the fixed-capacity ring has long overflowed: same call, but
+    // every push is a drop.
+    bench_function("trace emit: enabled, ring full (dropping)", |bench| {
+        bench.iter(|| gc_trace::emit(gc_trace::EventKind::Instant { id: 1, value: 7 }))
+    });
+    gc_trace::disable();
+    let _ = gc_trace::Tracer::global().drain();
+}
+
 /// The §4 allocation-pool extension vs the global free-list lock.
 fn bench_alloc_pooling() {
     for (name, pool) in [("locked (pool=0)", 0usize), ("pooled (batch 64)", 64)] {
@@ -128,4 +151,5 @@ fn main() {
     bench_cycle_vs_live();
     bench_handshake_latency();
     bench_alloc_pooling();
+    bench_trace_emit();
 }

@@ -11,9 +11,42 @@
 //! Usage: `parallel_speedup [max_states] [thread-list]`, e.g.
 //! `parallel_speedup 5000000 1,2,4`.
 
-use gc_bench::{bounded_config, check_config_opts, print_table, CheckReport, Suite};
+use gc_bench::{
+    bounded_config, check_config_opts, print_table, report_json, write_bench_record, CheckReport,
+    Suite,
+};
 use gc_model::ModelConfig;
+use gc_trace::Json;
 use mc::Strategy;
+
+/// Upper bound, in nanoseconds, on one runtime-disabled `gc_trace::emit`
+/// call. The real cost is one relaxed atomic load (sub-nanosecond on any
+/// modern core); the bound is two orders of magnitude looser so it only
+/// trips on a genuine fast-path regression, never on a noisy CI host.
+const DISABLED_EMIT_BUDGET_NS: f64 = 100.0;
+
+/// Measures the per-site cost of `gc_trace::emit` with tracing
+/// runtime-disabled — the state every instrumented hot path runs in unless
+/// someone calls `gc_trace::enable()`.
+fn disabled_emit_ns_per_site() -> f64 {
+    gc_trace::disable();
+    const N: u64 = 4_000_000;
+    // Warm-up (first touch of the thread-local track registration).
+    for i in 0..1_000u64 {
+        gc_trace::emit(gc_trace::EventKind::Instant {
+            id: 0,
+            value: std::hint::black_box(i),
+        });
+    }
+    let t0 = std::time::Instant::now();
+    for i in 0..N {
+        gc_trace::emit(gc_trace::EventKind::Instant {
+            id: 0,
+            value: std::hint::black_box(i),
+        });
+    }
+    t0.elapsed().as_nanos() as f64 / N as f64
+}
 
 fn main() {
     let max: usize = std::env::args()
@@ -51,7 +84,8 @@ fn main() {
 
     let base = &reports[0];
     println!();
-    for r in &reports {
+    let mut rows: Vec<Json> = Vec::new();
+    for (i, r) in reports.iter().enumerate() {
         assert_eq!(
             r.states, base.states,
             "state counts must be thread-invariant"
@@ -64,6 +98,42 @@ fn main() {
         assert_eq!(r.outcome, base.outcome, "verdicts must be thread-invariant");
         let speedup = base.elapsed.as_secs_f64() / r.elapsed.as_secs_f64();
         println!("{:<44} speedup vs sequential: {speedup:>5.2}x", r.label);
+        rows.push(
+            report_json(r)
+                .set("threads", Json::from(threads[i]))
+                .set("speedup", Json::from(speedup)),
+        );
     }
     println!("\nall thread counts agree on states, transitions, depth and verdict.");
+
+    // The checker's instrumentation must be free when tracing is off: the
+    // runtime-disabled `emit` fast path is a single relaxed load.
+    let per_site = disabled_emit_ns_per_site();
+    println!("\nruntime-disabled trace emit: {per_site:.2} ns/site (budget {DISABLED_EMIT_BUDGET_NS} ns)");
+    assert!(
+        per_site < DISABLED_EMIT_BUDGET_NS,
+        "runtime-disabled trace emit costs {per_site:.2} ns/site, \
+         budget is {DISABLED_EMIT_BUDGET_NS} ns"
+    );
+
+    let record = gc_trace::bench_record(
+        "parallel_speedup",
+        &[
+            ("max_states", Json::from(max)),
+            (
+                "threads",
+                Json::Arr(threads.iter().map(|&t| Json::from(t)).collect()),
+            ),
+            ("host_parallelism", Json::from(cores)),
+        ],
+        &[
+            ("runs", Json::Arr(rows)),
+            ("disabled_emit_ns_per_site", Json::from(per_site)),
+        ],
+        None,
+    );
+    match write_bench_record("parallel_speedup", &record) {
+        Ok(path) => println!("bench record -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench record: {e}"),
+    }
 }

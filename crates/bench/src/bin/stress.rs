@@ -20,6 +20,8 @@
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+use gc_bench::write_bench_record;
+use gc_trace::Json;
 use otf_gc::{Collector, GcConfig};
 
 fn churn(collector: &Collector, mutators: usize, ops: usize) {
@@ -86,28 +88,39 @@ fn main() {
     churn(&collector, 4, 30_000);
     collector.stop();
     let s = collector.stats();
-    println!(
-        "cycles {}, allocated {}, freed {}, live {}, barrier checks {}, CAS won/lost {}/{}",
-        s.cycles(),
-        s.allocated(),
-        s.freed(),
-        collector.live_objects(),
-        s.barrier_checks(),
-        s.barrier_cas_won(),
-        s.barrier_cas_lost()
-    );
+    print!("{}", s.summary());
+    println!("  {:<20} {:>12}", "live", collector.live_objects());
     if let Some(last) = s.history().last() {
-        println!(
-            "last cycle: total {:?} (handshakes {:?}, mark {:?}, sweep {:?}), {} freed, {} work rounds",
-            last.duration(),
-            std::time::Duration::from_nanos(last.handshake_ns),
-            std::time::Duration::from_nanos(last.mark_ns),
-            std::time::Duration::from_nanos(last.sweep_ns),
-            last.freed,
-            last.work_rounds,
-        );
+        println!("last cycle: {last}");
     }
     println!("no use-after-free: the runtime safety oracle stayed quiet\n");
+
+    let record = gc_trace::bench_record(
+        "stress",
+        &[
+            ("mutators", Json::from(4u64)),
+            ("ops", Json::from(30_000u64)),
+            ("capacity", Json::from(4096u64)),
+        ],
+        &[
+            (
+                "gc_stats",
+                Json::parse(&s.to_json()).expect("GcStats::to_json is valid JSON"),
+            ),
+            (
+                "last_cycle",
+                s.history().last().map_or(Json::Null, |c| {
+                    Json::parse(&c.to_json()).expect("CycleStats::to_json is valid JSON")
+                }),
+            ),
+            ("live_objects", Json::from(collector.live_objects())),
+        ],
+        None,
+    );
+    match write_bench_record("stress", &record) {
+        Ok(path) => println!("bench record -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench record: {e}"),
+    }
 
     // ---- Part 2: floating garbage is gone within two cycles -------------
     println!("== floating garbage: reclaimed within two cycles ==");

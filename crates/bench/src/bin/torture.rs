@@ -26,6 +26,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use gc_bench::write_bench_record;
+use gc_trace::Json;
 use otf_gc::{Collector, FaultPlan, Gc, GcConfig, Mutator};
 
 /// One mutator's churn loop: grow a shared list off `anchor`, cut it loose
@@ -252,6 +254,7 @@ fn main() {
         "seed", "completed", "timedout", "evicted", "panics", "faults"
     );
     let mut failures = 0;
+    let mut rows: Vec<Json> = Vec::new();
     for &seed in &seeds {
         let r = run_seed(seed, mutators, ops, capacity);
         let verdict = match &r.verdict {
@@ -265,6 +268,34 @@ fn main() {
             "{:>6} | {:>9} | {:>8} | {:>7} | {:>6} | {:>6} | {verdict}",
             r.seed, r.completed, r.timed_out, r.evictions, r.chaos_panics, r.fired
         );
+        rows.push(
+            Json::obj()
+                .set("seed", r.seed)
+                .set("completed", r.completed)
+                .set("timed_out", r.timed_out)
+                .set("evictions", r.evictions)
+                .set("chaos_panics", r.chaos_panics)
+                .set("faults_fired", r.fired)
+                .set("verdict", verdict.as_str()),
+        );
+    }
+    let record = gc_trace::bench_record(
+        "torture",
+        &[
+            ("seeds", Json::from(seeds.len())),
+            ("mutators", Json::from(mutators)),
+            ("ops", Json::from(ops)),
+            ("capacity", Json::from(capacity)),
+        ],
+        &[
+            ("failures", Json::from(failures as u64)),
+            ("per_seed", Json::Arr(rows)),
+        ],
+        None,
+    );
+    match write_bench_record("torture", &record) {
+        Ok(path) => println!("bench record -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench record: {e}"),
     }
     if failures > 0 {
         eprintln!("torture: {failures} seed(s) FAILED");

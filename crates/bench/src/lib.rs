@@ -157,6 +157,32 @@ pub fn print_trace(report: &CheckReport) {
     }
 }
 
+/// A [`CheckReport`] as a flat JSON object for `BENCH_*.json` records.
+pub fn report_json(report: &CheckReport) -> gc_trace::Json {
+    gc_trace::Json::obj()
+        .set("label", report.label.as_str())
+        .set("outcome", report.outcome.as_str())
+        .set("states", report.states)
+        .set("transitions", report.transitions)
+        .set("depth", report.depth)
+        .set("elapsed_s", report.elapsed.as_secs_f64())
+}
+
+/// Writes a [`gc_trace::bench_record`] document to
+/// `experiments_output/BENCH_<bench>.json` (creating the directory), and
+/// returns the path. Bench bins treat failures here as warnings, not
+/// errors — the measurement already happened.
+pub fn write_bench_record(
+    bench: &str,
+    record: &gc_trace::Json,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("experiments_output");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{bench}.json"));
+    std::fs::write(&path, format!("{record}\n"))?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

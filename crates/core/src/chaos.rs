@@ -32,7 +32,12 @@
 //!   transfers (a mutator lingering inside the handshake's transfer step);
 //! * [`ChaosSite::CollectorPanic`] — the collector worker itself panics at
 //!   the start of a chosen cycle (exercises [`Collector::stop`]'s
-//!   panic-swallowing join).
+//!   panic-swallowing join);
+//! * [`ChaosSite::MarkDelay`] — yield storms inside the collector's mark
+//!   loop (a descheduled collector mid-trace: mutators keep allocating and
+//!   greying against a trace that is barely progressing). The time spent
+//!   is accounted to [`CycleStats::chaos_ns`](crate::CycleStats::chaos_ns),
+//!   *excluded* from `mark_ns`, so timing reports stay honest under chaos.
 //!
 //! [`MarkOutcome::Lost`]: crate::heap::MarkOutcome
 //! [`Collector::stop`]: crate::Collector::stop
@@ -58,11 +63,13 @@ pub enum ChaosSite {
     SlowTransfer = 4,
     /// Collector worker panics at the start of a cycle.
     CollectorPanic = 5,
+    /// Yield storm inside the collector's mark loop.
+    MarkDelay = 6,
 }
 
 impl ChaosSite {
     /// Number of injection sites.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Every site, in `repr` order.
     pub const ALL: [ChaosSite; ChaosSite::COUNT] = [
@@ -72,6 +79,7 @@ impl ChaosSite {
         ChaosSite::MutatorPanic,
         ChaosSite::SlowTransfer,
         ChaosSite::CollectorPanic,
+        ChaosSite::MarkDelay,
     ];
 
     /// A short stable name for reports.
@@ -83,6 +91,7 @@ impl ChaosSite {
             ChaosSite::MutatorPanic => "mutator_panic",
             ChaosSite::SlowTransfer => "slow_transfer",
             ChaosSite::CollectorPanic => "collector_panic",
+            ChaosSite::MarkDelay => "mark_delay",
         }
     }
 }
@@ -119,6 +128,9 @@ pub struct FaultPlan {
     pub slow_transfer: u32,
     /// Panic the collector at the start of cycle N (0-based, fires once).
     pub collector_panic_at_cycle: Option<u64>,
+    /// Rate of yield storms inside the collector's mark loop (per traced
+    /// object).
+    pub mark_delay: u32,
 }
 
 impl Default for FaultPlan {
@@ -140,6 +152,7 @@ impl FaultPlan {
             mutator_panic: 0,
             slow_transfer: 0,
             collector_panic_at_cycle: None,
+            mark_delay: 0,
         }
     }
 
@@ -175,6 +188,8 @@ impl FaultPlan {
             mutator_panic: r(5, 0, 3),
             slow_transfer: r(6, 50, 500),
             collector_panic_at_cycle: None,
+            // Per traced object, so even small rates stretch most marks.
+            mark_delay: r(7, 20, 300),
         }
     }
 
@@ -221,6 +236,13 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the mark-loop delay-storm rate.
+    #[must_use]
+    pub fn with_mark_delay(mut self, rate: u32) -> Self {
+        self.mark_delay = rate;
+        self
+    }
+
     /// Whether any injection is armed. The single-branch guard every hot
     /// path checks first.
     #[inline]
@@ -241,6 +263,7 @@ impl FaultPlan {
             ChaosSite::MutatorPanic => self.mutator_panic,
             ChaosSite::SlowTransfer => self.slow_transfer,
             ChaosSite::CollectorPanic => 0, // cycle-indexed, not rate-drawn
+            ChaosSite::MarkDelay => self.mark_delay,
         }
     }
 
@@ -340,6 +363,7 @@ mod tests {
             assert!(p.silence < RATE_SCALE);
             assert!(p.mutator_panic < RATE_SCALE);
             assert!(p.slow_transfer < RATE_SCALE);
+            assert!(p.mark_delay < RATE_SCALE);
             assert!((1..=4).contains(&p.silence_generations));
             assert_eq!(FaultPlan::from_seed(seed), p, "derivation is pure");
         }

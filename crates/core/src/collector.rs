@@ -8,7 +8,7 @@ use std::time::Instant;
 
 use crate::sync::{Backoff, Mutex};
 
-use crate::chaos::{ChaosSite, ChaosState};
+use crate::chaos::{ChaosSite, ChaosState, STORM_YIELDS};
 use crate::config::GcConfig;
 use crate::handle::Gc;
 use crate::heap::{Heap, MarkOutcome, Phase};
@@ -118,6 +118,7 @@ impl Shared {
         }
         if self.cfg.chaos.fires(site, &self.chaos) {
             self.stats.chaos_fired[site as usize].fetch_add(1, Ordering::Relaxed);
+            trace_event!(ChaosFired { site: site as u8 });
             true
         } else {
             false
@@ -148,10 +149,12 @@ impl Shared {
         match self.heap.try_mark(g, fm, self.cfg.mark_cas) {
             MarkOutcome::Won => {
                 self.stats.barrier_cas_won.fetch_add(1, Ordering::Relaxed);
+                trace_event!(MarkCas { won: true });
                 wl.push(&self.heap, g);
             }
             MarkOutcome::Lost => {
                 self.stats.barrier_cas_lost.fetch_add(1, Ordering::Relaxed);
+                trace_event!(MarkCas { won: false });
             }
             MarkOutcome::AlreadyMarked => {}
         }
@@ -172,6 +175,10 @@ impl Shared {
             fence(Ordering::SeqCst);
         }
         let gen = self.gen.fetch_add(1, Ordering::Relaxed) + 1;
+        trace_event!(HandshakeBegin {
+            generation: gen,
+            ty: ty as u8
+        });
         let word = (gen << 2) | ty as u32;
         let mutators: Vec<Arc<MutatorShared>> = self.registry.lock().clone();
         // Beat snapshots taken at post time: the watchdog's evidence base.
@@ -193,6 +200,11 @@ impl Shared {
                 break;
             }
             if self.stop.load(Ordering::Acquire) {
+                trace_event!(HandshakeEnd {
+                    generation: gen,
+                    ty: ty as u8,
+                    outcome: 1
+                });
                 return HsOutcome::Stopped;
             }
             if let Some(d) = deadline {
@@ -217,6 +229,11 @@ impl Shared {
                         }
                     }
                     if !stalled.is_empty() {
+                        trace_event!(HandshakeEnd {
+                            generation: gen,
+                            ty: ty as u8,
+                            outcome: 2
+                        });
                         return HsOutcome::TimedOut(stalled);
                     }
                     if evicted {
@@ -235,6 +252,11 @@ impl Shared {
             // The collector's load fence after the round completes.
             fence(Ordering::SeqCst);
         }
+        trace_event!(HandshakeEnd {
+            generation: gen,
+            ty: ty as u8,
+            outcome: 0
+        });
         HsOutcome::Done
     }
 
@@ -245,6 +267,9 @@ impl Shared {
         self.fa
             .store(self.fm.load(Ordering::Relaxed), Ordering::Relaxed);
         self.phase.store(Phase::Idle as u8, Ordering::Relaxed);
+        trace_event!(PhaseEnter {
+            phase: Phase::Idle as u8
+        });
         let _ = self.staged.take_all(&self.heap);
         self.marks_dirty.store(true, Ordering::Release);
     }
@@ -299,6 +324,8 @@ impl Shared {
         let sh = self;
         let t0 = Instant::now();
         let mut cycle = CycleStats::default();
+        let cycle_idx = sh.stats.cycles();
+        trace_event!(CycleBegin { cycle: cycle_idx });
 
         // Chaos: the collector itself can be scheduled to die at the start
         // of a chosen cycle (exercising the panic-swallowing join).
@@ -333,11 +360,21 @@ impl Shared {
                     HsOutcome::Done => {}
                     HsOutcome::Stopped => {
                         sh.abort_cycle();
+                        trace_event!(CycleEnd {
+                            cycle: cycle_idx,
+                            freed: 0,
+                            traced: cycle.traced as u32
+                        });
                         return CycleOutcome::Stopped(cycle);
                     }
                     HsOutcome::TimedOut(stalled) => {
                         sh.abort_cycle();
                         sh.stats.cycle_timeouts.fetch_add(1, Ordering::Relaxed);
+                        trace_event!(CycleEnd {
+                            cycle: cycle_idx,
+                            freed: 0,
+                            traced: cycle.traced as u32
+                        });
                         return CycleOutcome::TimedOut {
                             stalled,
                             partial: cycle,
@@ -367,10 +404,16 @@ impl Shared {
 
         // Line 8: leave idle; write barriers arm as mutators observe it.
         sh.phase.store(Phase::Init as u8, Ordering::Relaxed);
+        trace_event!(PhaseEnter {
+            phase: Phase::Init as u8
+        });
         hs_or_abort!(HsTy::Noop);
 
         // Lines 11–12: start marking; newly allocated objects are black.
         sh.phase.store(Phase::Mark as u8, Ordering::Relaxed);
+        trace_event!(PhaseEnter {
+            phase: Phase::Mark as u8
+        });
         sh.fa.store(fm, Ordering::Relaxed);
         hs_or_abort!(HsTy::Noop);
 
@@ -382,7 +425,18 @@ impl Shared {
         // Lines 25–34: trace until no grey work remains anywhere.
         loop {
             let t_mark = Instant::now();
+            let mut round_chaos_ns = 0u64;
             while let Some(src) = w.pop(&sh.heap) {
+                if sh.chaos_fires(ChaosSite::MarkDelay) {
+                    // Injected descheduling mid-trace. The storm's cost is
+                    // accounted to `chaos_ns` and excluded from `mark_ns` so
+                    // timing reports stay honest under chaos.
+                    let t_chaos = Instant::now();
+                    for _ in 0..STORM_YIELDS {
+                        std::thread::yield_now();
+                    }
+                    round_chaos_ns += t_chaos.elapsed().as_nanos() as u64;
+                }
                 let n = sh.heap.nfields(src);
                 for f in 0..n {
                     if let Some(child) = sh.heap.load_field(src, f) {
@@ -391,7 +445,8 @@ impl Shared {
                 }
                 cycle.traced += 1;
             }
-            cycle.mark_ns += t_mark.elapsed().as_nanos() as u64;
+            cycle.chaos_ns += round_chaos_ns;
+            cycle.mark_ns += (t_mark.elapsed().as_nanos() as u64).saturating_sub(round_chaos_ns);
             hs_or_abort!(HsTy::GetWork);
             cycle.work_rounds += 1;
             w = sh.staged.take_all(&sh.heap);
@@ -403,6 +458,9 @@ impl Shared {
 
         // Lines 37–45: sweep the heap, freeing unmarked objects.
         sh.phase.store(Phase::Sweep as u8, Ordering::Relaxed);
+        trace_event!(PhaseEnter {
+            phase: Phase::Sweep as u8
+        });
         let t_sweep = Instant::now();
         for idx in 0..sh.heap.capacity() as u32 {
             let (alloc, flag, _) = sh.heap.slot_status(idx);
@@ -413,14 +471,26 @@ impl Shared {
         }
         cycle.sweep_ns = t_sweep.elapsed().as_nanos() as u64;
         sh.phase.store(Phase::Idle as u8, Ordering::Relaxed);
+        trace_event!(PhaseEnter {
+            phase: Phase::Idle as u8
+        });
 
         cycle.live_after = sh.heap.live();
         cycle.duration_ns = t0.elapsed().as_nanos() as u64;
+        debug_assert!(
+            cycle.timing_consistent(),
+            "phase timings exceed cycle duration: {cycle:?}"
+        );
         sh.stats.cycles.fetch_add(1, Ordering::Relaxed);
         sh.stats
             .freed
             .fetch_add(cycle.freed as u64, Ordering::Relaxed);
         sh.stats.history.lock().push(cycle);
+        trace_event!(CycleEnd {
+            cycle: cycle_idx,
+            freed: cycle.freed as u32,
+            traced: cycle.traced as u32
+        });
         CycleOutcome::Completed(cycle)
     }
 }

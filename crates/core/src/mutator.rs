@@ -177,6 +177,9 @@ impl Mutator {
             // in batches; only the refill touches the shared free list.
             if self.pool.is_empty() {
                 self.pool = self.shared.heap.grab_pool(self.shared.cfg.alloc_pool);
+                trace_event!(PoolRefill {
+                    got: self.pool.len() as u32
+                });
             }
             match self.pool.pop() {
                 Some(idx) => self.shared.heap.alloc_from(idx, fields, fa)?,
@@ -186,6 +189,10 @@ impl Mutator {
             self.shared.heap.alloc(fields, fa)?
         };
         self.shared.stats.allocated.fetch_add(1, Ordering::Relaxed);
+        trace_event!(AllocColor {
+            slot: g.index(),
+            color: fa
+        });
         self.root(g);
         Ok(g)
     }
@@ -282,6 +289,7 @@ impl Mutator {
         let deleted = self.shared.heap.load_field(src, field);
         if self.shared.cfg.deletion_barrier {
             if let Some(d) = deleted {
+                trace_event!(BarrierHit { deletion: true });
                 self.shared.mark(d, &mut self.wl);
             }
         }
@@ -294,6 +302,7 @@ impl Mutator {
         // Insertion barrier: grey the reference being stored.
         if self.shared.cfg.insertion_barrier {
             if let Some(d) = dst {
+                trace_event!(BarrierHit { deletion: false });
                 self.shared.mark(d, &mut self.wl);
             }
         }

@@ -1,5 +1,6 @@
 //! Collector statistics: global counters and per-cycle records.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -25,16 +26,66 @@ pub struct CycleStats {
     /// raggedness.
     pub handshake_ns: u64,
     /// Time spent in the collector's mark loop (ns), excluding the
-    /// embedded termination handshakes.
+    /// embedded termination handshakes *and* any injected chaos delays
+    /// (those are accounted to [`CycleStats::chaos_ns`]).
     pub mark_ns: u64,
     /// Time spent sweeping (ns).
     pub sweep_ns: u64,
+    /// Time lost to injected chaos delays inside the mark loop (ns) —
+    /// [`ChaosSite::MarkDelay`] storms. Zero without chaos.
+    pub chaos_ns: u64,
 }
 
 impl CycleStats {
     /// The cycle duration.
     pub fn duration(&self) -> Duration {
         Duration::from_nanos(self.duration_ns)
+    }
+
+    /// Whether the phase timings compose: the handshake, mark, sweep and
+    /// injected-chaos times are disjoint sub-intervals of the cycle, so
+    /// their sum can never exceed the wall-clock duration. Asserted (in
+    /// debug builds) at the end of every completed cycle.
+    pub fn timing_consistent(&self) -> bool {
+        self.handshake_ns + self.mark_ns + self.sweep_ns + self.chaos_ns <= self.duration_ns
+    }
+
+    /// The cycle as a flat JSON object (stable keys, integer values).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"freed\":{},\"traced\":{},\"received\":{},\"work_rounds\":{},\
+             \"live_after\":{},\"duration_ns\":{},\"handshake_ns\":{},\
+             \"mark_ns\":{},\"sweep_ns\":{},\"chaos_ns\":{}}}",
+            self.freed,
+            self.traced,
+            self.received,
+            self.work_rounds,
+            self.live_after,
+            self.duration_ns,
+            self.handshake_ns,
+            self.mark_ns,
+            self.sweep_ns,
+            self.chaos_ns
+        )
+    }
+}
+
+impl fmt::Display for CycleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "freed {:>5}  traced {:>5}  recv {:>5}  rounds {:>2}  live {:>5}  \
+             {:>8.2?} (hs {:.2?}, mark {:.2?}, sweep {:.2?})",
+            self.freed,
+            self.traced,
+            self.received,
+            self.work_rounds,
+            self.live_after,
+            Duration::from_nanos(self.duration_ns),
+            Duration::from_nanos(self.handshake_ns),
+            Duration::from_nanos(self.mark_ns),
+            Duration::from_nanos(self.sweep_ns),
+        )
     }
 }
 
@@ -147,6 +198,53 @@ impl GcStats {
     pub fn history(&self) -> Vec<CycleStats> {
         self.history.lock().clone()
     }
+
+    /// Every counter as `(name, value)` rows, in a stable order — the one
+    /// source for [`GcStats::summary`] and [`GcStats::to_json`].
+    fn rows(&self) -> Vec<(String, u64)> {
+        let mut rows = vec![
+            ("cycles".to_owned(), self.cycles()),
+            ("allocated".to_owned(), self.allocated()),
+            ("freed".to_owned(), self.freed()),
+            ("barrier_checks".to_owned(), self.barrier_checks()),
+            ("barrier_cas_won".to_owned(), self.barrier_cas_won()),
+            ("barrier_cas_lost".to_owned(), self.barrier_cas_lost()),
+            ("handshakes".to_owned(), self.handshakes()),
+            ("worker_panics".to_owned(), self.worker_panics()),
+            ("evictions".to_owned(), self.evictions()),
+            ("cycle_timeouts".to_owned(), self.cycle_timeouts()),
+            ("emergency_cycles".to_owned(), self.emergency_cycles()),
+        ];
+        for site in ChaosSite::ALL {
+            let fired = self.chaos_fired(site);
+            if fired > 0 {
+                rows.push((format!("chaos_{}", site.name()), fired));
+            }
+        }
+        rows
+    }
+
+    /// A human-readable counter table — what the bench bins print instead
+    /// of each rolling its own ad-hoc dump. Zero chaos counters are
+    /// omitted; everything else always appears.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in self.rows() {
+            let _ = writeln!(out, "  {name:<20} {value:>12}");
+        }
+        out
+    }
+
+    /// The global counters as a flat JSON object (no per-cycle history).
+    pub fn to_json(&self) -> String {
+        let fields: Vec<String> = self
+            .rows()
+            .iter()
+            .map(|(name, value)| format!("\"{name}\":{value}"))
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
 }
 
 #[cfg(test)]
@@ -168,5 +266,71 @@ mod tests {
             ..CycleStats::default()
         };
         assert_eq!(c.duration(), Duration::from_nanos(1500));
+    }
+
+    #[test]
+    fn timing_composition_bounds_duration() {
+        let good = CycleStats {
+            duration_ns: 100,
+            handshake_ns: 40,
+            mark_ns: 30,
+            sweep_ns: 20,
+            chaos_ns: 10,
+            ..CycleStats::default()
+        };
+        assert!(good.timing_consistent());
+        let bad = CycleStats {
+            duration_ns: 100,
+            handshake_ns: 60,
+            mark_ns: 30,
+            sweep_ns: 20,
+            chaos_ns: 0,
+            ..CycleStats::default()
+        };
+        assert!(!bad.timing_consistent());
+    }
+
+    #[test]
+    fn cycle_stats_display_and_json() {
+        let c = CycleStats {
+            freed: 3,
+            traced: 9,
+            received: 4,
+            work_rounds: 2,
+            live_after: 7,
+            duration_ns: 1_000,
+            handshake_ns: 500,
+            mark_ns: 200,
+            sweep_ns: 100,
+            chaos_ns: 50,
+        };
+        let text = c.to_string();
+        assert!(text.contains("freed     3"));
+        assert!(text.contains("traced     9"));
+        let json = c.to_json();
+        assert!(json.contains("\"freed\":3"));
+        assert!(json.contains("\"chaos_ns\":50"));
+        // Braces balance; keys are quoted: crude but dependency-free shape
+        // checks (the real parser lives in gc-trace's integration tests).
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn gc_stats_summary_and_json_list_all_counters() {
+        let s = GcStats::default();
+        s.cycles.store(5, Ordering::Relaxed);
+        s.allocated.store(123, Ordering::Relaxed);
+        s.chaos_fired[ChaosSite::CasLost as usize].store(2, Ordering::Relaxed);
+        let summary = s.summary();
+        assert!(summary.contains("cycles"));
+        assert!(summary.contains("chaos_cas_lost"));
+        assert!(
+            !summary.contains("chaos_silence"),
+            "zero chaos counters omitted"
+        );
+        let json = s.to_json();
+        assert!(json.contains("\"cycles\":5"));
+        assert!(json.contains("\"allocated\":123"));
+        assert!(json.contains("\"chaos_cas_lost\":2"));
     }
 }

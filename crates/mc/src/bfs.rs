@@ -378,6 +378,11 @@ where
         }
         deepest = level;
         let expanding = level < config.max_depth;
+        #[cfg(feature = "trace")]
+        gc_trace::emit(gc_trace::EventKind::LevelBegin {
+            level: level as u32,
+            frontier: frontier.len() as u64,
+        });
 
         // -- Parallel phase: expand the frontier -------------------------
         let cursor = AtomicUsize::new(0);
@@ -538,6 +543,29 @@ where
                 };
             }
             _ => {}
+        }
+
+        // Level completed without a verdict: report its shape. Tracing is
+        // observation only — it never influences exploration order, so the
+        // deterministic-drain guarantee is untouched.
+        #[cfg(feature = "trace")]
+        {
+            gc_trace::emit(gc_trace::EventKind::LevelEnd {
+                level: level as u32,
+                discovered: next.len() as u64,
+                states_total: states_count as u64,
+            });
+            let mut occ_max = 0u64;
+            let mut occ_total = 0u64;
+            for shard in shards.iter_mut() {
+                let n = shard.get_mut().expect("shard lock").seen.len() as u64;
+                occ_max = occ_max.max(n);
+                occ_total += n;
+            }
+            gc_trace::emit(gc_trace::EventKind::ShardOccupancy {
+                max: occ_max,
+                total: occ_total,
+            });
         }
 
         frontier = next;

@@ -1,0 +1,592 @@
+//! Exporters: Chrome trace-event JSON (loadable in Perfetto / `chrome://
+//! tracing`) and a flat JSONL stream.
+//!
+//! Each [`TrackDump`] becomes one Chrome thread track (`tid` = track id,
+//! named via `thread_name` metadata). Span-shaped events become balanced
+//! `B`/`E` pairs: cycles with the mark/sweep phases and handshakes nested
+//! under them on the collector track, BFS levels on the checker track.
+//! Point events render as thread-scoped instants. The exporter enforces
+//! span balance itself — stray closes are dropped and spans still open at
+//! the end of a dump are closed at the last timestamp — so the emitted
+//! trace always passes [`validate_chrome_trace`].
+
+use crate::event::{Event, EventKind, HANDSHAKE_NAMES, PHASE_NAMES};
+use crate::json::Json;
+use crate::tracer::TrackDump;
+
+/// The process id used for every emitted event (single-process trace).
+const PID: u64 = 1;
+
+/// What kind of span an open `B` belongs to, for matching closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpanTag {
+    Cycle,
+    Phase,
+    Handshake,
+    Level,
+    Generic(u32),
+}
+
+fn handshake_name(ty: u8) -> &'static str {
+    HANDSHAKE_NAMES.get(ty as usize).copied().unwrap_or("?")
+}
+
+fn phase_name(phase: u8) -> &'static str {
+    PHASE_NAMES.get(phase as usize).copied().unwrap_or("?")
+}
+
+/// Microseconds (Chrome's `ts` unit) from our nanosecond stamps.
+fn us(ts_ns: u64) -> Json {
+    Json::Num(ts_ns as f64 / 1_000.0)
+}
+
+fn base(ph: &str, name: &str, cat: &str, ts_ns: u64, tid: u32) -> Json {
+    Json::obj()
+        .set("name", name)
+        .set("cat", cat)
+        .set("ph", ph)
+        .set("ts", us(ts_ns))
+        .set("pid", PID)
+        .set("tid", u64::from(tid))
+}
+
+fn instant(name: &str, cat: &str, ts_ns: u64, tid: u32, args: Json) -> Json {
+    base("i", name, cat, ts_ns, tid)
+        .set("s", "t")
+        .set("args", args)
+}
+
+/// One track's open-span stack entry.
+struct Open {
+    tag: SpanTag,
+}
+
+/// Converts drained tracks into a complete Chrome trace-event document:
+/// `{"traceEvents": [...], "displayTimeUnit": "ms", ...}`.
+pub fn chrome_trace(dumps: &[TrackDump]) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    events.push(
+        Json::obj()
+            .set("name", "process_name")
+            .set("ph", "M")
+            .set("pid", PID)
+            .set("tid", 0u64)
+            .set("args", Json::obj().set("name", "gc-trace")),
+    );
+    let mut total_dropped = 0u64;
+    for dump in dumps {
+        total_dropped += dump.dropped;
+        events.push(
+            Json::obj()
+                .set("name", "thread_name")
+                .set("ph", "M")
+                .set("pid", PID)
+                .set("tid", u64::from(dump.id))
+                .set("args", Json::obj().set("name", dump.name.as_str())),
+        );
+        export_track(dump, &mut events);
+    }
+    Json::obj()
+        .set("traceEvents", Json::Arr(events))
+        .set("displayTimeUnit", "ms")
+        .set("otherData", Json::obj().set("droppedEvents", total_dropped))
+}
+
+fn export_track(dump: &TrackDump, out: &mut Vec<Json>) {
+    let tid = dump.id;
+    let mut stack: Vec<Open> = Vec::new();
+    let mut last_ts = 0u64;
+
+    // Pops spans down to (and including) the topmost `tag`, emitting `E`
+    // events; a close with no matching open is dropped to keep balance.
+    let close = |stack: &mut Vec<Open>, out: &mut Vec<Json>, tag: SpanTag, ts: u64| -> bool {
+        let Some(depth) = stack.iter().rposition(|o| o.tag == tag) else {
+            return false;
+        };
+        while stack.len() > depth {
+            stack.pop();
+            out.push(base("E", "", "gc", ts, tid));
+        }
+        true
+    };
+
+    for e in &dump.events {
+        last_ts = last_ts.max(e.ts_ns);
+        let ts = e.ts_ns;
+        match e.kind {
+            EventKind::CycleBegin { cycle } => {
+                stack.push(Open {
+                    tag: SpanTag::Cycle,
+                });
+                out.push(
+                    base("B", &format!("cycle {cycle}"), "gc", ts, tid)
+                        .set("args", Json::obj().set("cycle", cycle)),
+                );
+            }
+            EventKind::CycleEnd { freed, traced, .. } => {
+                // Close any phase/handshake still nested under the cycle,
+                // then stamp the cycle's own E with its result args.
+                if close(&mut stack, out, SpanTag::Cycle, ts) {
+                    if let Some(last) = out.last_mut() {
+                        *last = last.clone().set(
+                            "args",
+                            Json::obj().set("freed", freed).set("traced", traced),
+                        );
+                    }
+                }
+            }
+            EventKind::PhaseEnter { phase } => {
+                // A new phase ends the previous one (and any handshake
+                // still open inside it); idle (0) just closes.
+                close(&mut stack, out, SpanTag::Phase, ts);
+                if phase != 0 {
+                    stack.push(Open {
+                        tag: SpanTag::Phase,
+                    });
+                    out.push(base("B", phase_name(phase), "gc", ts, tid));
+                }
+            }
+            EventKind::HandshakeBegin { generation, ty } => {
+                stack.push(Open {
+                    tag: SpanTag::Handshake,
+                });
+                out.push(
+                    base(
+                        "B",
+                        &format!("handshake {}", handshake_name(ty)),
+                        "gc",
+                        ts,
+                        tid,
+                    )
+                    .set("args", Json::obj().set("generation", generation)),
+                );
+            }
+            EventKind::HandshakeEnd { outcome, .. } => {
+                if close(&mut stack, out, SpanTag::Handshake, ts) {
+                    if let Some(last) = out.last_mut() {
+                        *last = last.clone().set(
+                            "args",
+                            Json::obj().set(
+                                "outcome",
+                                match outcome {
+                                    0 => "done",
+                                    1 => "stopped",
+                                    _ => "timeout",
+                                },
+                            ),
+                        );
+                    }
+                }
+            }
+            EventKind::LevelBegin { level, frontier } => {
+                stack.push(Open {
+                    tag: SpanTag::Level,
+                });
+                out.push(
+                    base("B", &format!("level {level}"), "mc", ts, tid)
+                        .set("args", Json::obj().set("frontier", frontier)),
+                );
+            }
+            EventKind::LevelEnd {
+                discovered,
+                states_total,
+                ..
+            } => {
+                if close(&mut stack, out, SpanTag::Level, ts) {
+                    if let Some(last) = out.last_mut() {
+                        *last = last.clone().set(
+                            "args",
+                            Json::obj()
+                                .set("discovered", discovered)
+                                .set("states_total", states_total),
+                        );
+                    }
+                }
+            }
+            EventKind::SpanBegin { id } => {
+                stack.push(Open {
+                    tag: SpanTag::Generic(id),
+                });
+                out.push(base("B", &format!("span-{id}"), "app", ts, tid));
+            }
+            EventKind::SpanEnd { id } => {
+                close(&mut stack, out, SpanTag::Generic(id), ts);
+            }
+            EventKind::MarkCas { won } => out.push(instant(
+                "mark_cas",
+                "gc",
+                ts,
+                tid,
+                Json::obj().set("won", won),
+            )),
+            EventKind::BarrierHit { deletion } => out.push(instant(
+                "barrier_hit",
+                "gc",
+                ts,
+                tid,
+                Json::obj().set("kind", if deletion { "deletion" } else { "insertion" }),
+            )),
+            EventKind::AllocColor { slot, color } => out.push(instant(
+                "alloc",
+                "gc",
+                ts,
+                tid,
+                Json::obj().set("slot", slot).set("color", color),
+            )),
+            EventKind::PoolRefill { got } => out.push(instant(
+                "pool_refill",
+                "gc",
+                ts,
+                tid,
+                Json::obj().set("got", got),
+            )),
+            EventKind::ChaosFired { site } => out.push(instant(
+                "chaos_fired",
+                "chaos",
+                ts,
+                tid,
+                Json::obj().set("site", u64::from(site)),
+            )),
+            EventKind::ShardOccupancy { max, total } => out.push(instant(
+                "shard_occupancy",
+                "mc",
+                ts,
+                tid,
+                Json::obj().set("max", max).set("total", total),
+            )),
+            EventKind::Instant { id, value } => out.push(instant(
+                &format!("instant-{id}"),
+                "app",
+                ts,
+                tid,
+                Json::obj().set("value", value),
+            )),
+        }
+    }
+    // Close anything left open at the track's last timestamp so the trace
+    // is always balanced (e.g. a workload stopped mid-cycle).
+    while stack.pop().is_some() {
+        out.push(base("E", "", "gc", last_ts, tid));
+    }
+}
+
+/// Renders dumps as JSONL: one JSON object per event per line, with the
+/// track id/name and the decoded event payload. Append-friendly and
+/// greppable where the Chrome document is not.
+pub fn jsonl(dumps: &[TrackDump]) -> String {
+    let mut out = String::new();
+    for dump in dumps {
+        for e in &dump.events {
+            out.push_str(&event_json(dump.id, &dump.name, e).to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// One event as a flat JSON object (the JSONL record shape).
+pub fn event_json(track: u32, track_name: &str, e: &Event) -> Json {
+    let mut j = Json::obj()
+        .set("ts_ns", e.ts_ns)
+        .set("track", u64::from(track))
+        .set("track_name", track_name)
+        .set("event", e.kind.name());
+    j = match e.kind {
+        EventKind::CycleBegin { cycle } => j.set("cycle", cycle),
+        EventKind::CycleEnd {
+            cycle,
+            freed,
+            traced,
+        } => j
+            .set("cycle", cycle)
+            .set("freed", freed)
+            .set("traced", traced),
+        EventKind::PhaseEnter { phase } => j.set("phase", phase_name(phase)),
+        EventKind::HandshakeBegin { generation, ty } => j
+            .set("generation", generation)
+            .set("type", handshake_name(ty)),
+        EventKind::HandshakeEnd {
+            generation,
+            ty,
+            outcome,
+        } => j
+            .set("generation", generation)
+            .set("type", handshake_name(ty))
+            .set("outcome", u64::from(outcome)),
+        EventKind::MarkCas { won } => j.set("won", won),
+        EventKind::BarrierHit { deletion } => j.set("deletion", deletion),
+        EventKind::AllocColor { slot, color } => j.set("slot", slot).set("color", color),
+        EventKind::PoolRefill { got } => j.set("got", got),
+        EventKind::ChaosFired { site } => j.set("site", u64::from(site)),
+        EventKind::LevelBegin { level, frontier } => {
+            j.set("level", level).set("frontier", frontier)
+        }
+        EventKind::LevelEnd {
+            level,
+            discovered,
+            states_total,
+        } => j
+            .set("level", level)
+            .set("discovered", discovered)
+            .set("states_total", states_total),
+        EventKind::ShardOccupancy { max, total } => j.set("max", max).set("total", total),
+        EventKind::SpanBegin { id } => j.set("id", id),
+        EventKind::SpanEnd { id } => j.set("id", id),
+        EventKind::Instant { id, value } => j.set("id", id).set("value", value),
+    };
+    j
+}
+
+/// Summary returned by [`validate_chrome_trace`] on success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Entries in `traceEvents` (including metadata).
+    pub events: usize,
+    /// Matched `B`/`E` span pairs.
+    pub spans: usize,
+    /// Instant (`ph: "i"`) events.
+    pub instants: usize,
+    /// Distinct `tid`s seen.
+    pub tracks: usize,
+}
+
+/// Validates a Chrome trace-event document: the shape every consumer
+/// (Perfetto, `chrome://tracing`) requires, plus per-track `B`/`E`
+/// balance. Used by the demo's `--check` mode and the CI smoke job.
+pub fn validate_chrome_trace(trace: &Json) -> Result<TraceSummary, String> {
+    let events = trace
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut depths: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    let mut tids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut spans = 0usize;
+    let mut instants = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let tid = e
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing tid"))? as u64;
+        e.get("pid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        if ph != "M" {
+            let ts = e
+                .get("ts")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event {i}: missing ts"))?;
+            if !ts.is_finite() || ts < 0.0 {
+                return Err(format!("event {i}: bad ts {ts}"));
+            }
+            // A track is any tid carrying real events — instants count,
+            // not just span pairs (a mutator track may be instants-only).
+            tids.insert(tid);
+        }
+        match ph {
+            "B" => {
+                e.get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: B without name"))?;
+                *depths.entry(tid).or_insert(0) += 1;
+            }
+            "E" => {
+                let d = depths.entry(tid).or_insert(0);
+                if *d == 0 {
+                    return Err(format!("event {i}: E with no open B on tid {tid}"));
+                }
+                *d -= 1;
+                spans += 1;
+            }
+            "i" => {
+                e.get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: instant without name"))?;
+                instants += 1;
+            }
+            "M" => {}
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        }
+    }
+    if let Some((tid, d)) = depths.iter().find(|(_, d)| **d != 0) {
+        return Err(format!("tid {tid}: {d} unclosed B span(s)"));
+    }
+    Ok(TraceSummary {
+        events: events.len(),
+        spans,
+        instants,
+        tracks: tids.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dump(id: u32, name: &str, events: Vec<(u64, EventKind)>) -> TrackDump {
+        TrackDump {
+            id,
+            name: name.to_owned(),
+            dropped: 0,
+            events: events
+                .into_iter()
+                .map(|(ts_ns, kind)| Event { ts_ns, kind })
+                .collect(),
+        }
+    }
+
+    fn collector_dump() -> TrackDump {
+        dump(
+            1,
+            "gc-collector",
+            vec![
+                (100, EventKind::CycleBegin { cycle: 0 }),
+                (110, EventKind::PhaseEnter { phase: 1 }),
+                (
+                    120,
+                    EventKind::HandshakeBegin {
+                        generation: 1,
+                        ty: 1,
+                    },
+                ),
+                (
+                    150,
+                    EventKind::HandshakeEnd {
+                        generation: 1,
+                        ty: 1,
+                        outcome: 0,
+                    },
+                ),
+                (160, EventKind::PhaseEnter { phase: 2 }),
+                (170, EventKind::MarkCas { won: true }),
+                (200, EventKind::PhaseEnter { phase: 3 }),
+                (240, EventKind::PhaseEnter { phase: 0 }),
+                (
+                    250,
+                    EventKind::CycleEnd {
+                        cycle: 0,
+                        freed: 5,
+                        traced: 9,
+                    },
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trips_through_parse_and_validates() {
+        let trace = chrome_trace(&[collector_dump()]);
+        let text = trace.to_string();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        let summary = validate_chrome_trace(&parsed).expect("valid trace");
+        // Spans: cycle + 3 phases + handshake.
+        assert_eq!(summary.spans, 5);
+        assert_eq!(summary.instants, 1); // the mark CAS
+        assert_eq!(summary.tracks, 1);
+    }
+
+    #[test]
+    fn spans_nest_cycle_phase_handshake() {
+        let trace = chrome_trace(&[collector_dump()]);
+        let events = trace.get("traceEvents").unwrap().as_arr().unwrap();
+        let names: Vec<(String, String)> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph").and_then(Json::as_str), Some("B") | Some("E")))
+            .map(|e| {
+                (
+                    e.get("ph").and_then(Json::as_str).unwrap().to_owned(),
+                    e.get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_owned(),
+                )
+            })
+            .collect();
+        // B cycle, B init, B handshake, E(handshake), E(init via phase 2),
+        // B mark, E(mark), B sweep, E(sweep via idle), E(cycle).
+        let opens: Vec<&str> = names
+            .iter()
+            .filter(|(ph, _)| ph == "B")
+            .map(|(_, n)| n.as_str())
+            .collect();
+        assert_eq!(
+            opens,
+            ["cycle 0", "init", "handshake noop", "mark", "sweep"]
+        );
+        // Balanced: equal numbers of B and E.
+        let b = names.iter().filter(|(ph, _)| ph == "B").count();
+        let e = names.iter().filter(|(ph, _)| ph == "E").count();
+        assert_eq!(b, e);
+    }
+
+    #[test]
+    fn unclosed_spans_are_closed_and_stray_closes_dropped() {
+        let d = dump(
+            2,
+            "ragged",
+            vec![
+                (10, EventKind::SpanEnd { id: 9 }), // stray: dropped
+                (20, EventKind::CycleBegin { cycle: 1 }),
+                (30, EventKind::PhaseEnter { phase: 2 }),
+                // track ends mid-phase: both spans force-closed
+            ],
+        );
+        let trace = chrome_trace(&[d]);
+        let summary = validate_chrome_trace(&trace).expect("still balanced");
+        assert_eq!(summary.spans, 2);
+    }
+
+    #[test]
+    fn metadata_names_every_track() {
+        let trace = chrome_trace(&[
+            collector_dump(),
+            dump(
+                7,
+                "mutator-3",
+                vec![(5, EventKind::BarrierHit { deletion: true })],
+            ),
+        ]);
+        let events = trace.get("traceEvents").unwrap().as_arr().unwrap();
+        let thread_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(thread_names, ["gc-collector", "mutator-3"]);
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let text = jsonl(&[collector_dump()]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 9);
+        for line in lines {
+            let v = Json::parse(line).expect("valid JSONL line");
+            assert!(v.get("event").is_some());
+            assert_eq!(
+                v.get("track_name").and_then(Json::as_str),
+                Some("gc-collector")
+            );
+        }
+    }
+
+    #[test]
+    fn validator_rejects_imbalance_and_missing_fields() {
+        let bad = Json::obj().set(
+            "traceEvents",
+            Json::Arr(vec![Json::obj()
+                .set("name", "x")
+                .set("ph", "E")
+                .set("ts", 1u64)
+                .set("pid", 1u64)
+                .set("tid", 1u64)]),
+        );
+        assert!(validate_chrome_trace(&bad).is_err());
+        let missing = Json::obj().set("traceEvents", Json::Arr(vec![Json::obj().set("ph", "B")]));
+        assert!(validate_chrome_trace(&missing).is_err());
+        assert!(validate_chrome_trace(&Json::obj()).is_err());
+    }
+}

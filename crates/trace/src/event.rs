@@ -1,0 +1,321 @@
+//! Typed trace events and their fixed-width binary encoding.
+//!
+//! Every event is stamped with a nanosecond offset from the tracer's epoch
+//! and packs into exactly four 64-bit words — the unit the lock-free ring
+//! buffer stores. The encoding is total: any `EventKind` round-trips
+//! through [`Event::encode`]/[`Event::decode`] unchanged, and unknown codes
+//! decode to `None` so a reader can skip records from a newer writer.
+
+/// The collector phases, mirrored here so the trace crate stays
+/// dependency-free (`otf-gc` depends on us, not the reverse).
+pub const PHASE_NAMES: [&str; 4] = ["idle", "init", "mark", "sweep"];
+
+/// Handshake type names, indexed by the wire value used by `otf-gc`
+/// (1 = noop, 2 = get-roots, 3 = get-work).
+pub const HANDSHAKE_NAMES: [&str; 4] = ["?", "noop", "get-roots", "get-work"];
+
+/// One timestamped trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the tracer's epoch.
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The typed event vocabulary.
+///
+/// Span-shaped pairs (`CycleBegin`/`CycleEnd`, `HandshakeBegin`/
+/// `HandshakeEnd`, `LevelBegin`/`LevelEnd`, `SpanBegin`/`SpanEnd`) nest on
+/// their emitting thread's track; `PhaseEnter` events partition the
+/// enclosing cycle span into phase sub-spans. Everything else renders as an
+/// instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A collection cycle started (cycle index = completed cycles so far).
+    CycleBegin {
+        /// 0-based cycle index.
+        cycle: u64,
+    },
+    /// A collection cycle ended.
+    CycleEnd {
+        /// 0-based cycle index.
+        cycle: u64,
+        /// Objects freed by the sweep (0 for aborted cycles).
+        freed: u32,
+        /// Objects traced by the mark loop.
+        traced: u32,
+    },
+    /// The collector entered a phase (0 idle, 1 init, 2 mark, 3 sweep).
+    PhaseEnter {
+        /// Phase byte, indexes [`PHASE_NAMES`].
+        phase: u8,
+    },
+    /// A soft-handshake round was posted to every registered mutator.
+    HandshakeBegin {
+        /// Handshake generation.
+        generation: u32,
+        /// Handshake type, indexes [`HANDSHAKE_NAMES`].
+        ty: u8,
+    },
+    /// A soft-handshake round resolved.
+    HandshakeEnd {
+        /// Handshake generation.
+        generation: u32,
+        /// Handshake type, indexes [`HANDSHAKE_NAMES`].
+        ty: u8,
+        /// 0 done, 1 stopped, 2 timed out.
+        outcome: u8,
+    },
+    /// A marking CAS resolved (Figure 5's slow path).
+    MarkCas {
+        /// Whether this side turned the object grey.
+        won: bool,
+    },
+    /// A write barrier greyed (or tried to grey) a target.
+    BarrierHit {
+        /// `true` for the deletion barrier, `false` for insertion.
+        deletion: bool,
+    },
+    /// An object was allocated with the current allocation color.
+    AllocColor {
+        /// Heap slot index.
+        slot: u32,
+        /// The allocation sense `f_A` at allocation time.
+        color: bool,
+    },
+    /// A mutator refilled its allocation pool from the shared free list.
+    PoolRefill {
+        /// Slots obtained.
+        got: u32,
+    },
+    /// A chaos fault fired at an injection site.
+    ChaosFired {
+        /// `ChaosSite` repr.
+        site: u8,
+    },
+    /// The checker started expanding a BFS level.
+    LevelBegin {
+        /// BFS level (depth).
+        level: u32,
+        /// Frontier size entering the level.
+        frontier: u64,
+    },
+    /// The checker finished a BFS level.
+    LevelEnd {
+        /// BFS level (depth).
+        level: u32,
+        /// States newly discovered by this level.
+        discovered: u64,
+        /// Total distinct states after the level.
+        states_total: u64,
+    },
+    /// Seen-set shard occupancy after a level's deterministic drain.
+    ShardOccupancy {
+        /// Entries in the fullest shard.
+        max: u64,
+        /// Entries across all shards.
+        total: u64,
+    },
+    /// Start of a generic named span (bench rigs, workloads).
+    SpanBegin {
+        /// Caller-chosen span id (rendered as `span-<id>` unless named).
+        id: u32,
+    },
+    /// End of a generic named span.
+    SpanEnd {
+        /// Caller-chosen span id.
+        id: u32,
+    },
+    /// A generic instant measurement.
+    Instant {
+        /// Caller-chosen counter id.
+        id: u32,
+        /// The measured value.
+        value: u64,
+    },
+}
+
+impl EventKind {
+    /// A short stable name for JSONL output and debugging.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::CycleBegin { .. } => "cycle_begin",
+            EventKind::CycleEnd { .. } => "cycle_end",
+            EventKind::PhaseEnter { .. } => "phase_enter",
+            EventKind::HandshakeBegin { .. } => "handshake_begin",
+            EventKind::HandshakeEnd { .. } => "handshake_end",
+            EventKind::MarkCas { .. } => "mark_cas",
+            EventKind::BarrierHit { .. } => "barrier_hit",
+            EventKind::AllocColor { .. } => "alloc_color",
+            EventKind::PoolRefill { .. } => "pool_refill",
+            EventKind::ChaosFired { .. } => "chaos_fired",
+            EventKind::LevelBegin { .. } => "level_begin",
+            EventKind::LevelEnd { .. } => "level_end",
+            EventKind::ShardOccupancy { .. } => "shard_occupancy",
+            EventKind::SpanBegin { .. } => "span_begin",
+            EventKind::SpanEnd { .. } => "span_end",
+            EventKind::Instant { .. } => "instant",
+        }
+    }
+}
+
+impl Event {
+    /// Packs the event into the ring buffer's four-word record:
+    /// `[ts, code, a, b]`.
+    pub fn encode(&self) -> [u64; 4] {
+        let (code, a, b): (u64, u64, u64) = match self.kind {
+            EventKind::CycleBegin { cycle } => (1, cycle, 0),
+            EventKind::CycleEnd {
+                cycle,
+                freed,
+                traced,
+            } => (2, cycle, (u64::from(freed) << 32) | u64::from(traced)),
+            EventKind::PhaseEnter { phase } => (3, u64::from(phase), 0),
+            EventKind::HandshakeBegin { generation, ty } => {
+                (4, u64::from(generation), u64::from(ty))
+            }
+            EventKind::HandshakeEnd {
+                generation,
+                ty,
+                outcome,
+            } => (
+                5,
+                u64::from(generation),
+                (u64::from(outcome) << 8) | u64::from(ty),
+            ),
+            EventKind::MarkCas { won } => (6, u64::from(won), 0),
+            EventKind::BarrierHit { deletion } => (7, u64::from(deletion), 0),
+            EventKind::AllocColor { slot, color } => (8, u64::from(slot), u64::from(color)),
+            EventKind::PoolRefill { got } => (9, u64::from(got), 0),
+            EventKind::ChaosFired { site } => (10, u64::from(site), 0),
+            EventKind::LevelBegin { level, frontier } => (11, u64::from(level), frontier),
+            EventKind::LevelEnd {
+                level,
+                discovered,
+                states_total,
+            } => (12, (u64::from(level) << 40) | discovered, states_total),
+            EventKind::ShardOccupancy { max, total } => (13, max, total),
+            EventKind::SpanBegin { id } => (14, u64::from(id), 0),
+            EventKind::SpanEnd { id } => (15, u64::from(id), 0),
+            EventKind::Instant { id, value } => (16, u64::from(id), value),
+        };
+        [self.ts_ns, code, a, b]
+    }
+
+    /// Decodes a four-word record; `None` for unknown codes.
+    pub fn decode(w: [u64; 4]) -> Option<Event> {
+        let [ts_ns, code, a, b] = w;
+        let kind = match code {
+            1 => EventKind::CycleBegin { cycle: a },
+            2 => EventKind::CycleEnd {
+                cycle: a,
+                freed: (b >> 32) as u32,
+                traced: b as u32,
+            },
+            3 => EventKind::PhaseEnter { phase: a as u8 },
+            4 => EventKind::HandshakeBegin {
+                generation: a as u32,
+                ty: b as u8,
+            },
+            5 => EventKind::HandshakeEnd {
+                generation: a as u32,
+                ty: b as u8,
+                outcome: (b >> 8) as u8,
+            },
+            6 => EventKind::MarkCas { won: a != 0 },
+            7 => EventKind::BarrierHit { deletion: a != 0 },
+            8 => EventKind::AllocColor {
+                slot: a as u32,
+                color: b != 0,
+            },
+            9 => EventKind::PoolRefill { got: a as u32 },
+            10 => EventKind::ChaosFired { site: a as u8 },
+            11 => EventKind::LevelBegin {
+                level: a as u32,
+                frontier: b,
+            },
+            12 => EventKind::LevelEnd {
+                level: (a >> 40) as u32,
+                discovered: a & ((1 << 40) - 1),
+                states_total: b,
+            },
+            13 => EventKind::ShardOccupancy { max: a, total: b },
+            14 => EventKind::SpanBegin { id: a as u32 },
+            15 => EventKind::SpanEnd { id: a as u32 },
+            16 => EventKind::Instant {
+                id: a as u32,
+                value: b,
+            },
+            _ => return None,
+        };
+        Some(Event { ts_ns, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_round_trips() {
+        let kinds = [
+            EventKind::CycleBegin { cycle: 7 },
+            EventKind::CycleEnd {
+                cycle: 7,
+                freed: 12,
+                traced: 99,
+            },
+            EventKind::PhaseEnter { phase: 2 },
+            EventKind::HandshakeBegin {
+                generation: 41,
+                ty: 2,
+            },
+            EventKind::HandshakeEnd {
+                generation: 41,
+                ty: 2,
+                outcome: 0,
+            },
+            EventKind::MarkCas { won: true },
+            EventKind::BarrierHit { deletion: false },
+            EventKind::AllocColor {
+                slot: 1234,
+                color: true,
+            },
+            EventKind::PoolRefill { got: 8 },
+            EventKind::ChaosFired { site: 3 },
+            EventKind::LevelBegin {
+                level: 9,
+                frontier: 100_000,
+            },
+            EventKind::LevelEnd {
+                level: 9,
+                discovered: 54_321,
+                states_total: 1 << 33,
+            },
+            EventKind::ShardOccupancy {
+                max: 512,
+                total: 30_000,
+            },
+            EventKind::SpanBegin { id: 2 },
+            EventKind::SpanEnd { id: 2 },
+            EventKind::Instant {
+                id: 1,
+                value: u64::MAX,
+            },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let e = Event {
+                ts_ns: 1_000 + i as u64,
+                kind,
+            };
+            assert_eq!(Event::decode(e.encode()), Some(e), "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_codes_decode_to_none() {
+        assert_eq!(Event::decode([0, 0, 0, 0]), None);
+        assert_eq!(Event::decode([5, 999, 1, 2]), None);
+    }
+}

@@ -1,0 +1,232 @@
+//! The lock-free single-producer/single-consumer event ring.
+//!
+//! One ring belongs to one producing thread; the drain side is a single
+//! consumer (the exporter, serialised by the tracer's registry lock). The
+//! slots are plain atomic words — no `unsafe` anywhere — and the classic
+//! SPSC publication protocol makes every drained record a consistent
+//! four-word event:
+//!
+//! * the producer writes the slot words relaxed, then publishes by storing
+//!   `head + 1` with `Release`;
+//! * the consumer `Acquire`-loads `head`, so the slot writes of every
+//!   published record happen-before its reads;
+//! * the consumer frees a slot by storing `tail + 1` with `Release`, and
+//!   the producer `Acquire`-loads `tail` before reusing a slot, so the
+//!   consumer's reads happen-before any overwrite.
+//!
+//! A full ring **drops** the new event and counts it — a mutator is never
+//! blocked, delayed or spun by tracing (the paper's collector promises
+//! wait-free mutator progress at handshakes; the tracer must not break
+//! that promise through the back door).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::event::Event;
+
+/// Words per event record (see [`Event::encode`]).
+const WORDS: usize = 4;
+
+/// A fixed-capacity SPSC ring of encoded events.
+#[derive(Debug)]
+pub struct Ring {
+    /// `capacity * WORDS` atomic words; capacity is a power of two.
+    slots: Vec<AtomicU64>,
+    mask: usize,
+    /// Next record index to write (producer-owned, consumer-read).
+    head: AtomicUsize,
+    /// Next record index to read (consumer-owned, producer-read).
+    tail: AtomicUsize,
+    /// Events dropped because the ring was full.
+    dropped: AtomicU64,
+}
+
+impl Ring {
+    /// A ring holding up to `capacity` events (rounded up to a power of
+    /// two, minimum 8).
+    pub fn new(capacity: usize) -> Ring {
+        let capacity = capacity.max(8).next_power_of_two();
+        let mut slots = Vec::with_capacity(capacity * WORDS);
+        slots.resize_with(capacity * WORDS, || AtomicU64::new(0));
+        Ring {
+            slots,
+            mask: capacity - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Event capacity (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.head
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.tail.load(Ordering::Acquire))
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped on the floor because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Producer side: appends `event`, or drops it (and counts the drop)
+    /// when the ring is full. Never blocks, never spins.
+    pub fn push(&self, event: &Event) -> bool {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) > self.mask {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let base = (head & self.mask) * WORDS;
+        let words = event.encode();
+        for (i, w) in words.iter().enumerate() {
+            self.slots[base + i].store(*w, Ordering::Relaxed);
+        }
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side: removes and returns the oldest event, if any.
+    /// Records written by an unknown (newer) event code are skipped.
+    pub fn pop(&self) -> Option<Event> {
+        loop {
+            let tail = self.tail.load(Ordering::Relaxed);
+            let head = self.head.load(Ordering::Acquire);
+            if tail == head {
+                return None;
+            }
+            let base = (tail & self.mask) * WORDS;
+            let mut words = [0u64; WORDS];
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = self.slots[base + i].load(Ordering::Relaxed);
+            }
+            self.tail.store(tail.wrapping_add(1), Ordering::Release);
+            match Event::decode(words) {
+                Some(e) => return Some(e),
+                None => continue, // unknown code: skip the record
+            }
+        }
+    }
+
+    /// Consumer side: drains everything currently buffered, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(e) = self.pop() {
+            out.push(e);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(ts: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            kind: EventKind::Instant { id: 0, value: ts },
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_wraparound() {
+        let r = Ring::new(8);
+        // Fill, drain, refill across the wrap boundary several times.
+        for round in 0..5u64 {
+            for i in 0..6 {
+                assert!(r.push(&ev(round * 100 + i)));
+            }
+            let got = r.drain();
+            assert_eq!(got.len(), 6);
+            for (i, e) in got.iter().enumerate() {
+                assert_eq!(e.ts_ns, round * 100 + i as u64, "FIFO preserved");
+            }
+        }
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts_without_blocking() {
+        let r = Ring::new(8);
+        for i in 0..8 {
+            assert!(r.push(&ev(i)));
+        }
+        // Ring full: the next pushes return immediately, dropping.
+        for i in 8..20 {
+            assert!(!r.push(&ev(i)));
+        }
+        assert_eq!(r.dropped(), 12);
+        // The buffered prefix is intact — drops lose the newest, never
+        // corrupt the oldest.
+        let got = r.drain();
+        assert_eq!(got.len(), 8);
+        assert_eq!(got[0].ts_ns, 0);
+        assert_eq!(got[7].ts_ns, 7);
+        // Space freed: pushes work again.
+        assert!(r.push(&ev(99)));
+        assert_eq!(r.drain().len(), 1);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(Ring::new(0).capacity(), 8);
+        assert_eq!(Ring::new(9).capacity(), 16);
+        assert_eq!(Ring::new(1024).capacity(), 1024);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_never_tears_events() {
+        use std::sync::atomic::AtomicBool;
+        let r = Ring::new(64);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..50_000u64 {
+                    // Value mirrors the timestamp: a torn record would
+                    // break the equality below.
+                    r.push(&Event {
+                        ts_ns: i,
+                        kind: EventKind::Instant { id: 7, value: i },
+                    });
+                }
+                done.store(true, Ordering::Release);
+            });
+            let mut last = None;
+            loop {
+                match r.pop() {
+                    Some(e) => {
+                        match e.kind {
+                            EventKind::Instant { id, value } => {
+                                assert_eq!(id, 7);
+                                assert_eq!(value, e.ts_ns, "torn record");
+                            }
+                            other => panic!("unexpected kind {other:?}"),
+                        }
+                        if let Some(prev) = last {
+                            assert!(e.ts_ns > prev, "order preserved across drops");
+                        }
+                        last = Some(e.ts_ns);
+                    }
+                    None => {
+                        if done.load(Ordering::Acquire) && r.is_empty() {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,286 @@
+//! The process-wide tracer: per-thread ring registration, the
+//! runtime-disable fast path, and draining.
+//!
+//! Instrumented sites call [`emit`], which is two branches when tracing is
+//! disabled: a relaxed load of a process-global `AtomicBool` and the
+//! `return`. Enabling at runtime flips that bool; compiling consumers with
+//! their `trace` feature off removes the call sites entirely (the
+//! instrumentation macros expand to nothing).
+//!
+//! Each emitting thread lazily registers one SPSC [`Ring`] under a stable
+//! track id; the registry keeps the ring alive after the thread exits so a
+//! late drain still sees its events.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::event::{Event, EventKind};
+use crate::ring::Ring;
+
+/// Process-global enable flag: the runtime-disable fast path.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Default per-thread ring capacity, in events.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// One thread's track: a ring plus identity for the exporters.
+#[derive(Debug)]
+pub struct Track {
+    /// Stable track id (Chrome `tid`), assigned at registration.
+    pub id: u32,
+    /// Track name: the thread name, or an explicit [`set_track_name`].
+    name: Mutex<String>,
+    ring: Ring,
+}
+
+impl Track {
+    /// The track's display name.
+    pub fn name(&self) -> String {
+        self.name.lock().expect("track name lock").clone()
+    }
+}
+
+/// Everything drained from one track: identity, drop accounting, events.
+#[derive(Debug)]
+pub struct TrackDump {
+    /// Stable track id.
+    pub id: u32,
+    /// Display name.
+    pub name: String,
+    /// Events dropped on ring overflow over the track's lifetime.
+    pub dropped: u64,
+    /// Drained events, oldest first.
+    pub events: Vec<Event>,
+}
+
+/// The process-wide tracer.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    tracks: Mutex<Vec<Arc<Track>>>,
+    next_track: AtomicU32,
+    ring_capacity: AtomicU32,
+}
+
+static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+
+thread_local! {
+    static MY_TRACK: RefCell<Option<Arc<Track>>> = const { RefCell::new(None) };
+}
+
+impl Tracer {
+    fn new() -> Tracer {
+        Tracer {
+            epoch: Instant::now(),
+            tracks: Mutex::new(Vec::new()),
+            next_track: AtomicU32::new(1),
+            ring_capacity: AtomicU32::new(DEFAULT_RING_CAPACITY as u32),
+        }
+    }
+
+    /// The process-wide tracer (created on first use).
+    pub fn global() -> &'static Tracer {
+        GLOBAL.get_or_init(Tracer::new)
+    }
+
+    /// Nanoseconds since the tracer's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Turns event recording on.
+    pub fn enable(&self) {
+        ENABLED.store(true, Ordering::Release);
+    }
+
+    /// Turns event recording off. Already-buffered events stay drainable.
+    pub fn disable(&self) {
+        ENABLED.store(false, Ordering::Release);
+    }
+
+    /// Sets the ring capacity used for threads that register *after* this
+    /// call (existing rings keep their size).
+    pub fn set_ring_capacity(&self, events: usize) {
+        let clamped = events.clamp(8, u32::MAX as usize) as u32;
+        self.ring_capacity.store(clamped, Ordering::Relaxed);
+    }
+
+    /// This thread's track, registering it on first use.
+    fn my_track(&self) -> Arc<Track> {
+        MY_TRACK.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            if let Some(t) = slot.as_ref() {
+                return Arc::clone(t);
+            }
+            let id = self.next_track.fetch_add(1, Ordering::Relaxed);
+            let name = std::thread::current()
+                .name()
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("thread-{id}"));
+            let track = Arc::new(Track {
+                id,
+                name: Mutex::new(name),
+                ring: Ring::new(self.ring_capacity.load(Ordering::Relaxed) as usize),
+            });
+            self.tracks
+                .lock()
+                .expect("tracer registry lock")
+                .push(Arc::clone(&track));
+            *slot = Some(Arc::clone(&track));
+            track
+        })
+    }
+
+    /// Records `kind` on the calling thread's track (no-op when disabled).
+    pub fn record(&self, kind: EventKind) {
+        if !enabled() {
+            return;
+        }
+        let event = Event {
+            ts_ns: self.now_ns(),
+            kind,
+        };
+        self.my_track().ring.push(&event);
+    }
+
+    /// Renames the calling thread's track (registers it if needed).
+    pub fn name_current_track(&self, name: &str) {
+        let track = self.my_track();
+        *track.name.lock().expect("track name lock") = name.to_owned();
+    }
+
+    /// Drains every track's buffered events, oldest first per track.
+    /// Tracks appear in registration order; a track that emitted nothing
+    /// since the last drain still appears (with `events` empty) so drop
+    /// accounting is never lost.
+    pub fn drain(&self) -> Vec<TrackDump> {
+        let tracks: Vec<Arc<Track>> = self
+            .tracks
+            .lock()
+            .expect("tracer registry lock")
+            .iter()
+            .map(Arc::clone)
+            .collect();
+        tracks
+            .iter()
+            .map(|t| TrackDump {
+                id: t.id,
+                name: t.name(),
+                dropped: t.ring.dropped(),
+                events: t.ring.drain(),
+            })
+            .collect()
+    }
+
+    /// Total events dropped across every track.
+    pub fn total_dropped(&self) -> u64 {
+        self.tracks
+            .lock()
+            .expect("tracer registry lock")
+            .iter()
+            .map(|t| t.ring.dropped())
+            .sum()
+    }
+}
+
+/// Whether tracing is currently recording. This is the instrumented hot
+/// paths' fast path: one relaxed atomic load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Records `kind` on the calling thread's track. Two branches when
+/// disabled; one ring push when enabled.
+#[inline]
+pub fn emit(kind: EventKind) {
+    if !enabled() {
+        return;
+    }
+    Tracer::global().record(kind);
+}
+
+/// Enables recording process-wide.
+pub fn enable() {
+    Tracer::global().enable();
+}
+
+/// Disables recording process-wide (buffered events stay drainable).
+pub fn disable() {
+    Tracer::global().disable();
+}
+
+/// Names the calling thread's track for the exporters.
+pub fn set_track_name(name: &str) {
+    Tracer::global().name_current_track(name);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tracer is process-global state; these tests run in one process
+    // with other tests, so they only assert properties that are robust to
+    // concurrent emitters (their own track's contents).
+
+    #[test]
+    fn disabled_emit_records_nothing_enabled_emit_records() {
+        let t = Tracer::global();
+        t.disable();
+        emit(EventKind::Instant { id: 901, value: 1 });
+        t.enable();
+        emit(EventKind::Instant { id: 902, value: 2 });
+        t.disable();
+        let mine: Vec<Event> = t
+            .drain()
+            .into_iter()
+            .flat_map(|d| d.events)
+            .filter(|e| matches!(e.kind, EventKind::Instant { id, .. } if id == 901 || id == 902))
+            .collect();
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].kind, EventKind::Instant { id: 902, value: 2 });
+    }
+
+    #[test]
+    fn named_tracks_surface_in_drain() {
+        let t = Tracer::global();
+        t.enable();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                set_track_name("trace-test-worker");
+                emit(EventKind::Instant { id: 903, value: 3 });
+            });
+        });
+        t.disable();
+        let dumps = t.drain();
+        let mine = dumps
+            .iter()
+            .find(|d| d.name == "trace-test-worker")
+            .expect("named track registered");
+        assert!(mine
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Instant { id: 903, .. })));
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_per_track() {
+        let t = Tracer::global();
+        t.enable();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                set_track_name("trace-test-mono");
+                for i in 0..100 {
+                    emit(EventKind::Instant { id: 904, value: i });
+                }
+            });
+        });
+        t.disable();
+        let dumps = t.drain();
+        let mine = dumps.iter().find(|d| d.name == "trace-test-mono").unwrap();
+        let ts: Vec<u64> = mine.events.iter().map(|e| e.ts_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,316 @@
+//! `gc-trace`: the observability demo and trace validator (DESIGN.md
+//! §2.10).
+//!
+//! Default mode runs a short instrumented workload — the on-the-fly
+//! collector under a few churning mutators, then a bounded model-checker
+//! run — with tracing enabled, and writes into `--out` (default
+//! `experiments_output/`):
+//!
+//! * `trace.json` — a validated Chrome trace-event document: load it in
+//!   Perfetto or `chrome://tracing` to see collection cycles as spans with
+//!   handshake/mark/sweep nested under them, one track per thread;
+//! * `trace.jsonl` — the same events as flat JSON lines (one per event);
+//! * `metrics.prom` — the metrics registry as Prometheus text exposition;
+//! * `metrics.json` — the same registry as a JSON snapshot;
+//! * `BENCH_trace_demo.json` — a `gc-bench/v1`-schema record of the run.
+//!
+//! `--check <file>` parses and validates an existing Chrome trace document
+//! (required fields, begin/end balance per track) and exits nonzero on
+//! failure — the CI `trace-smoke` job runs the demo and then this mode on
+//! its own output.
+//!
+//! Usage: `gc-trace [--out DIR] [--mutators K] [--ops N] [--check FILE]`
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use gc_model::invariants::combined_property;
+use gc_model::{GcModel, ModelConfig};
+use gc_trace::chrome::{chrome_trace, jsonl, validate_chrome_trace};
+use gc_trace::{EventKind, Json, Registry, Tracer, TrackDump};
+use mc::{Checker, CheckerConfig, Strategy};
+use otf_gc::{Collector, GcConfig};
+
+struct Args {
+    out: PathBuf,
+    mutators: usize,
+    ops: usize,
+    check: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut out = PathBuf::from("experiments_output");
+    let mut mutators = 3usize;
+    let mut ops = 12_000usize;
+    let mut check = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--out" => {
+                out = PathBuf::from(need(i));
+                i += 2;
+            }
+            "--mutators" => {
+                mutators = need(i).parse().expect("mutators must be a usize");
+                i += 2;
+            }
+            "--ops" => {
+                ops = need(i).parse().expect("ops must be a usize");
+                i += 2;
+            }
+            "--check" => {
+                check = Some(PathBuf::from(need(i)));
+                i += 2;
+            }
+            other => panic!("unknown argument: {other} (see the module docs for usage)"),
+        }
+    }
+    Args {
+        out,
+        mutators,
+        ops,
+        check,
+    }
+}
+
+/// `--check` mode: parse + validate an existing Chrome trace document.
+fn check_file(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gc-trace: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("gc-trace: {} is not valid JSON: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_chrome_trace(&doc) {
+        Ok(summary) => {
+            println!(
+                "{}: valid Chrome trace — {} events ({} spans, {} instants) on {} track(s)",
+                path.display(),
+                summary.events,
+                summary.spans,
+                summary.instants,
+                summary.tracks
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gc-trace: {} failed validation: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The instrumented runtime workload: `mutators` threads churn a shared
+/// list (the stress/torture access pattern) while the collector runs
+/// on-the-fly, every thread writing to its own trace track.
+fn run_gc_workload(mutators: usize, ops: usize) -> (u64, usize) {
+    let collector = Collector::new(GcConfig::new(2048, 2));
+    collector.start();
+    let mut m0 = collector.register_mutator();
+    let anchor = m0.alloc(2).expect("fresh heap has room");
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for i in 0..mutators {
+            let mut m = collector.register_mutator();
+            m.adopt(anchor);
+            let done = &done;
+            s.spawn(move || {
+                gc_trace::set_track_name(&format!("mutator-{i}"));
+                for op in 0..ops {
+                    m.safepoint();
+                    match m.alloc(2) {
+                        Ok(node) => {
+                            let old = m.load(anchor, 0);
+                            m.store(node, 0, old);
+                            m.store(anchor, 0, Some(node));
+                            if let Some(o) = old {
+                                m.discard(o);
+                            }
+                            m.discard(node);
+                        }
+                        Err(_) => std::thread::yield_now(),
+                    }
+                    if op % 64 == 0 {
+                        m.store(anchor, 0, None);
+                    }
+                }
+                done.fetch_add(1, std::sync::atomic::Ordering::Release);
+            });
+        }
+        let done = &done;
+        s.spawn(move || {
+            gc_trace::set_track_name("driver");
+            while done.load(std::sync::atomic::Ordering::Acquire) < mutators {
+                m0.safepoint();
+                std::thread::yield_now();
+            }
+            drop(m0);
+        });
+    });
+    collector.stop();
+    let cycles = collector.stats().cycles();
+    let live = collector.live_objects();
+    (cycles, live)
+}
+
+/// The instrumented checker workload: a bounded BFS over the fig3
+/// configuration, small enough to finish in well under a second.
+fn run_checker_workload() -> (String, usize, usize) {
+    let cfg = ModelConfig::small(1, 2);
+    let model = GcModel::new(cfg.clone());
+    let checker = Checker::with_config(CheckerConfig {
+        max_states: 30_000,
+        hash_compact: true,
+        ..CheckerConfig::default()
+    })
+    .strategy(Strategy::Bfs { threads: 2 })
+    .property(combined_property(&cfg));
+    let outcome = checker.run(&model);
+    let stats = outcome.stats();
+    (outcome.verdict(), stats.states, stats.depth)
+}
+
+/// Distils handshake latencies and cycle shapes out of the drained event
+/// stream into `registry` — the demo of the metrics pillar feeding off the
+/// tracing pillar.
+fn populate_metrics(registry: &Registry, dumps: &[TrackDump]) {
+    let hs_latency = registry.histogram("gc_handshake_latency_ns");
+    let cycle_span = registry.histogram("gc_cycle_duration_ns");
+    let events = registry.counter("trace_events_drained");
+    let dropped = registry.counter("trace_events_dropped");
+    for dump in dumps {
+        dropped.add(dump.dropped);
+        events.add(dump.events.len() as u64);
+        let mut hs_open: HashMap<u32, u64> = HashMap::new();
+        let mut cycle_open: HashMap<u64, u64> = HashMap::new();
+        for e in &dump.events {
+            match e.kind {
+                EventKind::HandshakeBegin { generation, .. } => {
+                    hs_open.insert(generation, e.ts_ns);
+                }
+                EventKind::HandshakeEnd { generation, .. } => {
+                    if let Some(t0) = hs_open.remove(&generation) {
+                        hs_latency.record(e.ts_ns.saturating_sub(t0));
+                    }
+                }
+                EventKind::CycleBegin { cycle } => {
+                    cycle_open.insert(cycle, e.ts_ns);
+                }
+                EventKind::CycleEnd { cycle, .. } => {
+                    if let Some(t0) = cycle_open.remove(&cycle) {
+                        cycle_span.record(e.ts_ns.saturating_sub(t0));
+                    }
+                }
+                EventKind::MarkCas { won } => {
+                    if won {
+                        registry.counter("gc_mark_cas_won").inc();
+                    } else {
+                        registry.counter("gc_mark_cas_lost").inc();
+                    }
+                }
+                EventKind::BarrierHit { deletion } => {
+                    if deletion {
+                        registry.counter("gc_deletion_barrier_hits").inc();
+                    } else {
+                        registry.counter("gc_insertion_barrier_hits").inc();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Some(path) = &args.check {
+        return check_file(path);
+    }
+
+    println!(
+        "== gc-trace demo: {} mutators x {} ops + bounded model check ==",
+        args.mutators, args.ops
+    );
+    gc_trace::enable();
+    gc_trace::set_track_name("main");
+
+    let (cycles, live) = run_gc_workload(args.mutators, args.ops);
+    println!("runtime workload: {cycles} collection cycles, {live} live objects at exit");
+
+    let (verdict, states, depth) = run_checker_workload();
+    println!("checker workload: {verdict} ({states} states, depth {depth})");
+
+    gc_trace::disable();
+    let dumps = Tracer::global().drain();
+
+    let registry = Registry::new();
+    populate_metrics(&registry, &dumps);
+    registry.gauge("gc_live_objects").set(live as i64);
+    registry.counter("gc_cycles").add(cycles);
+
+    let doc = chrome_trace(&dumps);
+    let summary = match validate_chrome_trace(&doc) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gc-trace: generated trace failed validation: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "trace: {} events ({} spans, {} instants) on {} track(s)",
+        summary.events, summary.spans, summary.instants, summary.tracks
+    );
+
+    let record = gc_trace::bench_record(
+        "trace_demo",
+        &[
+            ("mutators", Json::from(args.mutators)),
+            ("ops", Json::from(args.ops)),
+        ],
+        &[
+            ("gc_cycles", Json::from(cycles)),
+            ("live_objects", Json::from(live)),
+            ("checker_verdict", Json::from(verdict.as_str())),
+            ("checker_states", Json::from(states)),
+            ("trace_events", Json::from(summary.events)),
+            ("trace_tracks", Json::from(summary.tracks)),
+        ],
+        Some(&registry),
+    );
+
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("gc-trace: cannot create {}: {e}", args.out.display());
+        return ExitCode::from(2);
+    }
+    let outputs: [(&str, String); 5] = [
+        ("trace.json", format!("{doc}\n")),
+        ("trace.jsonl", jsonl(&dumps)),
+        ("metrics.prom", registry.render_text()),
+        ("metrics.json", format!("{}\n", registry.snapshot())),
+        ("BENCH_trace_demo.json", format!("{record}\n")),
+    ];
+    for (name, contents) in outputs {
+        let path = args.out.join(name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("gc-trace: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+    println!("load trace.json in Perfetto (ui.perfetto.dev) or chrome://tracing");
+    ExitCode::SUCCESS
+}

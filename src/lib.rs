@@ -18,6 +18,8 @@
 //!   CFGs over CIMP, the TSO store-buffer dataflow with fence suggestions,
 //!   and the GC-protocol lints (§3 fence discipline, Fig. 6 barriers).
 //! * [`gc`] — the executable on-the-fly mark-sweep collector runtime.
+//! * [`trace`] — lock-free event tracing, the metrics registry and the
+//!   Chrome-trace exporter behind the `gc-trace` binary (§2.10).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the per-figure reproduction record.
@@ -25,6 +27,7 @@
 pub use cimp;
 pub use gc_analysis as analysis;
 pub use gc_model as model;
+pub use gc_trace as trace;
 pub use gc_types as types;
 pub use mc;
 pub use otf_gc as gc;
