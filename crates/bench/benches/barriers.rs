@@ -9,10 +9,13 @@ use otf_gc::{Collector, GcConfig, Phase};
 /// Bare store: both barriers compiled out (the ablation configuration) —
 /// the baseline cost of the field write itself.
 fn bench_store_bare(bench: &mut Bencher) {
-    let mut cfg = GcConfig::new(1024, 2);
-    cfg.insertion_barrier = false;
-    cfg.deletion_barrier = false;
-    cfg.validate = false;
+    let cfg = GcConfig::builder()
+        .capacity(1024)
+        .max_fields(2)
+        .insertion_barrier(false)
+        .deletion_barrier(false)
+        .validate(false)
+        .build();
     let collector = Collector::new(cfg);
     let mut m = collector.register_mutator();
     let a = m.alloc(2).unwrap();
@@ -23,8 +26,11 @@ fn bench_store_bare(bench: &mut Bencher) {
 /// Barriers on, collector idle: the flag check matches (`flag == f_M`), so
 /// the barrier exits after one load per mark.
 fn bench_store_idle(bench: &mut Bencher) {
-    let mut cfg = GcConfig::new(1024, 2);
-    cfg.validate = false;
+    let cfg = GcConfig::builder()
+        .capacity(1024)
+        .max_fields(2)
+        .validate(false)
+        .build();
     let collector = Collector::new(cfg);
     let mut m = collector.register_mutator();
     let a = m.alloc(2).unwrap();
@@ -35,8 +41,11 @@ fn bench_store_idle(bench: &mut Bencher) {
 /// Barriers on, marking active, targets already marked: the common case
 /// during a cycle — still no CAS.
 fn bench_store_marked(bench: &mut Bencher) {
-    let mut cfg = GcConfig::new(1024, 2);
-    cfg.validate = false;
+    let cfg = GcConfig::builder()
+        .capacity(1024)
+        .max_fields(2)
+        .validate(false)
+        .build();
     let collector = Collector::new(cfg);
     collector.debug_set_fm(true);
     collector.debug_set_fa(true); // allocate black
@@ -51,8 +60,11 @@ fn bench_store_marked(bench: &mut Bencher) {
 /// per fresh object. Each iteration gets a fresh white object via batched
 /// setup so the CAS actually fires.
 fn bench_store_unmarked(bench: &mut Bencher) {
-    let mut cfg = GcConfig::new(1 << 16, 2);
-    cfg.validate = false;
+    let cfg = GcConfig::builder()
+        .capacity(1 << 16)
+        .max_fields(2)
+        .validate(false)
+        .build();
     let collector = Collector::new(cfg);
     collector.debug_set_phase(Phase::Mark);
     collector.debug_set_fm(true); // heap allocates white (f_A = false)
@@ -74,7 +86,7 @@ fn bench_store_unmarked(bench: &mut Bencher) {
 /// The same store with validation on: the cost of the use-after-free
 /// oracle.
 fn bench_store_validated(bench: &mut Bencher) {
-    let collector = Collector::new(GcConfig::new(1024, 2));
+    let collector = Collector::new(GcConfig::builder().capacity(1024).max_fields(2).build());
     let mut m = collector.register_mutator();
     let a = m.alloc(2).unwrap();
     let b = m.alloc(2).unwrap();

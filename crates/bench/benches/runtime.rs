@@ -5,13 +5,16 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use gc_bench::harness::{bench_function, Bencher};
-use otf_gc::{Collector, Gc, GcConfig, Mutator};
+use otf_gc::{Collector, Gc, GcConfig, HeapLayout, Mutator};
 
 /// Allocation + discard churn with the collector running concurrently:
 /// steady-state allocation throughput including reclamation.
 fn bench_alloc_churn(bench: &mut Bencher) {
-    let mut cfg = GcConfig::new(8192, 1);
-    cfg.validate = false;
+    let cfg = GcConfig::builder()
+        .capacity(8192)
+        .max_fields(1)
+        .validate(false)
+        .build();
     let collector = Collector::new(cfg);
     let mut m = collector.register_mutator();
     collector.start();
@@ -49,8 +52,11 @@ fn build_list(m: &mut Mutator, n: usize) -> Gc {
 /// helper thread answering handshakes.
 fn bench_cycle_vs_live() {
     for &live in &[16usize, 256, 2048] {
-        let mut cfg = GcConfig::new(live * 2 + 64, 1);
-        cfg.validate = false;
+        let cfg = GcConfig::builder()
+            .capacity(live * 2 + 64)
+            .max_fields(1)
+            .validate(false)
+            .build();
         let collector = Collector::new(cfg);
         let mut m = collector.register_mutator();
         let _head = build_list(&mut m, live);
@@ -75,8 +81,11 @@ fn bench_cycle_vs_live() {
 /// of ragged handshakes.
 fn bench_handshake_latency() {
     for &n in &[1usize, 2, 4] {
-        let mut cfg = GcConfig::new(64, 1);
-        cfg.validate = false;
+        let cfg = GcConfig::builder()
+            .capacity(64)
+            .max_fields(1)
+            .validate(false)
+            .build();
         let collector = Collector::new(cfg);
         let stop = AtomicBool::new(false);
         std::thread::scope(|s| {
@@ -121,12 +130,29 @@ fn bench_trace_emit() {
     let _ = gc_trace::Tracer::global().drain();
 }
 
-/// The §4 allocation-pool extension vs the global free-list lock.
+/// The §4 allocation-pool extension vs the global free-list lock, plus
+/// the segmented layout's TLAB bump path on the same loop.
 fn bench_alloc_pooling() {
-    for (name, pool) in [("locked (pool=0)", 0usize), ("pooled (batch 64)", 64)] {
-        let mut cfg = GcConfig::new(1 << 14, 0);
-        cfg.validate = false;
-        cfg.alloc_pool = pool;
+    let cells: [(&str, usize, HeapLayout); 3] = [
+        ("locked (pool=0)", 0, HeapLayout::Slab),
+        ("pooled (batch 64)", 64, HeapLayout::Slab),
+        (
+            "segmented (TLAB 64)",
+            0,
+            HeapLayout::Segmented {
+                segment_slots: 256,
+                tlab_slots: 64,
+            },
+        ),
+    ];
+    for (name, pool, layout) in cells {
+        let cfg = GcConfig::builder()
+            .capacity(1 << 14)
+            .max_fields(0)
+            .validate(false)
+            .alloc_pool(pool)
+            .layout(layout)
+            .build();
         let collector = Collector::new(cfg);
         let mut m = collector.register_mutator();
         collector.start();

@@ -36,7 +36,7 @@ fn main() {
 
     // -- Runtime: fast-path effectiveness ---------------------------------
     println!("\nruntime barrier profile (list churn, collector running):");
-    let collector = Collector::new(GcConfig::new(4096, 2));
+    let collector = Collector::new(GcConfig::builder().capacity(4096).max_fields(2).build());
     let mut m = collector.register_mutator();
     let anchor = m.alloc(2).expect("room");
     collector.start();

@@ -1,17 +1,24 @@
 //! **R1 — runtime stress with the safety oracle, plus the two-cycle
-//! floating-garbage bound.**
+//! floating-garbage bound and the heap-layout allocation matrix.**
 //!
 //! Part 1: several mutator threads churn shared structures while the
 //! collector runs on-the-fly; validation mode turns any
 //! freed-while-reachable object into an immediate panic, so a clean run is
 //! the runtime enactment of the safety theorem.
 //!
-//! Part 2: the paper's §4 remark — "garbage is collected within two cycles
+//! Part 2: the allocation matrix — the same multi-threaded alloc/store/
+//! discard loop under both [`HeapLayout`]s at two capacities, reporting
+//! allocs/sec, barrier checks per allocation, and mean sweep ns per cycle.
+//! This is the acceptance evidence for the segmented heap: TLAB bump
+//! allocation beats the slab's global free list, and the bitmap sweep
+//! stops scaling with heap capacity. Written to `BENCH_heap_alloc.json`.
+//!
+//! Part 3: the paper's §4 remark — "garbage is collected within two cycles
 //! of the collector's outer loop" — measured directly: objects made
 //! garbage *during* marking float through the current cycle and are
 //! reclaimed by the next.
 //!
-//! Part 3: the barrier ablations on real threads — the stress loop run
+//! Part 4: the barrier ablations on real threads — the stress loop run
 //! with a barrier removed trips the use-after-free oracle, reproducing the
 //! model checker's counterexamples at runtime scale. (Racy and
 //! timing-dependent: the broken run is attempted several times and is
@@ -19,10 +26,11 @@
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use gc_bench::write_bench_record;
 use gc_trace::Json;
-use otf_gc::{Collector, GcConfig};
+use otf_gc::{Collector, GcConfig, HeapLayout};
 
 fn churn(collector: &Collector, mutators: usize, ops: usize) {
     let mut m0 = collector.register_mutator();
@@ -80,10 +88,154 @@ fn churn(collector: &Collector, mutators: usize, ops: usize) {
     });
 }
 
+/// One cell of the allocation matrix. The timed window covers only the
+/// allocation bursts — `threads` mutators alloc/store/discard until the
+/// heap is nearly full — while reclamation runs *between* bursts
+/// (quiescent `collect()` calls, so the slab sweeps eagerly and the
+/// segmented heap publishes + lazily sweeps on the next burst's refills).
+/// This isolates the two costs the layout changes: the per-allocation
+/// path (TLAB bump vs global free-list lock) and the collector-side
+/// sweep (`sweep_ns` per cycle), instead of drowning both in
+/// emergency-cycle noise. Returns the JSON row for
+/// `BENCH_heap_alloc.json` plus the headline numbers.
+struct AllocCell {
+    row: Json,
+    allocs_per_sec: f64,
+    mean_sweep_ns: f64,
+}
+
+fn alloc_matrix_cell(
+    layout: HeapLayout,
+    capacity: usize,
+    threads: usize,
+    target_allocs: usize,
+) -> AllocCell {
+    let cfg = GcConfig::builder()
+        .capacity(capacity)
+        .max_fields(2)
+        .layout(layout)
+        .build();
+    let collector = Collector::new(cfg);
+    // Leave headroom for per-mutator TLAB reservations so a burst never
+    // hits the emergency path inside the timed window.
+    let burst_per_thread = capacity / threads - 64;
+    let bursts = target_allocs.div_ceil(burst_per_thread * threads).max(2);
+    // Reclaims everything between bursts, outside the timed windows: no
+    // mutators are registered, so the cycles complete without handshake
+    // partners. Two cycles so even garbage floated by the final barrier
+    // snapshots is gone.
+    let reclaim = || {
+        assert!(collector.collect().is_completed());
+        assert!(collector.collect().is_completed());
+    };
+
+    // Phase A — the pure allocation path: nothing in the loop but
+    // `alloc` (objects stay rooted until the mutator unregisters at
+    // burst end). This is the number the layouts actually change: TLAB
+    // pop vs global free-list lock.
+    let mut alloc_timed = std::time::Duration::ZERO;
+    let mut allocs = 0u64;
+    for _ in 0..bursts {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let mut m = collector.register_mutator();
+                s.spawn(move || {
+                    for _ in 0..burst_per_thread {
+                        m.safepoint();
+                        match m.alloc(2) {
+                            Ok(_) => {} // stays rooted; dropped with `m`
+                            Err(_) => std::thread::yield_now(),
+                        }
+                    }
+                });
+            }
+        });
+        alloc_timed += t0.elapsed();
+        allocs += (burst_per_thread * threads) as u64;
+        reclaim();
+    }
+    let allocs_per_sec = allocs as f64 / alloc_timed.as_secs_f64();
+
+    // Phase B — churn: one barrier-carrying store plus a discard per
+    // allocation (the stress access pattern), for the barrier-cost and
+    // steady-state columns.
+    let barriers_before = collector.stats().barrier_checks();
+    let mut churn_timed = std::time::Duration::ZERO;
+    let mut churn_allocs = 0u64;
+    for _ in 0..bursts {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let mut m = collector.register_mutator();
+                s.spawn(move || {
+                    for _ in 0..burst_per_thread {
+                        m.safepoint();
+                        match m.alloc(2) {
+                            Ok(node) => {
+                                // Self-link: cyclic garbage — the tracer
+                                // reclaims it all the same.
+                                m.store(node, 0, Some(node));
+                                m.discard(node);
+                            }
+                            Err(_) => std::thread::yield_now(),
+                        }
+                    }
+                });
+            }
+        });
+        churn_timed += t0.elapsed();
+        churn_allocs += (burst_per_thread * threads) as u64;
+        reclaim();
+    }
+    let churn_allocs_per_sec = churn_allocs as f64 / churn_timed.as_secs_f64();
+
+    let st = collector.stats();
+    let history = st.history();
+    let cycles = history.len().max(1) as f64;
+    let mean_sweep_ns = history.iter().map(|c| c.sweep_ns as f64).sum::<f64>() / cycles;
+    let barrier_per_alloc =
+        (st.barrier_checks() - barriers_before) as f64 / (churn_allocs as f64).max(1.0);
+    println!(
+        "  {:<9} cap {:>6}: {:>12.0} allocs/s (pure)  {:>12.0} allocs/s (churn)  {:>5.2} barrier-checks/alloc  {:>10.0} sweep ns/cycle  ({} cycles, {} tlab refills, {} lazy-swept)",
+        layout.name(),
+        capacity,
+        allocs_per_sec,
+        churn_allocs_per_sec,
+        barrier_per_alloc,
+        mean_sweep_ns,
+        history.len(),
+        st.tlab_refills(),
+        st.lazy_sweep_segments(),
+    );
+    let row = Json::obj()
+        .set("layout", layout.name())
+        .set("capacity", capacity)
+        .set("threads", threads)
+        .set("bursts", bursts)
+        .set("burst_per_thread", burst_per_thread)
+        .set("alloc_timed_s", alloc_timed.as_secs_f64())
+        .set("churn_timed_s", churn_timed.as_secs_f64())
+        .set("allocated", st.allocated())
+        .set("allocs_per_sec", allocs_per_sec)
+        .set("churn_allocs_per_sec", churn_allocs_per_sec)
+        .set("barrier_checks_per_alloc", barrier_per_alloc)
+        .set("cycles", history.len())
+        .set("mean_sweep_ns_per_cycle", mean_sweep_ns)
+        .set("freed", st.freed())
+        .set("tlab_refills", st.tlab_refills())
+        .set("lazy_sweep_segments", st.lazy_sweep_segments());
+    AllocCell {
+        row,
+        allocs_per_sec,
+        mean_sweep_ns,
+    }
+}
+
 fn main() {
     // ---- Part 1: the faithful collector under stress --------------------
     println!("== stress: 4 mutators x 30k ops, faithful configuration ==");
-    let collector = Collector::new(GcConfig::new(4096, 2));
+    let collector = Collector::new(GcConfig::builder().capacity(4096).max_fields(2).build());
     collector.start();
     churn(&collector, 4, 30_000);
     collector.stop();
@@ -122,9 +274,66 @@ fn main() {
         Err(e) => eprintln!("warning: could not write bench record: {e}"),
     }
 
-    // ---- Part 2: floating garbage is gone within two cycles -------------
-    println!("== floating garbage: reclaimed within two cycles ==");
-    let collector = Collector::new(GcConfig::new(64, 1));
+    // ---- Part 2: the heap-layout allocation matrix ----------------------
+    println!("\n== heap layouts: alloc throughput and sweep cost, 4 threads ==");
+    const THREADS: usize = 4;
+    const TARGET_ALLOCS: usize = 400_000;
+    const CAPACITIES: [usize; 2] = [4_096, 16_384];
+    let layouts = [
+        HeapLayout::Slab,
+        HeapLayout::Segmented {
+            segment_slots: 256,
+            tlab_slots: 64,
+        },
+    ];
+    let mut rows = Vec::new();
+    let mut tput = [[0.0f64; 2]; 2]; // [layout][capacity]
+    let mut sweep = [[0.0f64; 2]; 2];
+    for (li, &layout) in layouts.iter().enumerate() {
+        for (ci, &cap) in CAPACITIES.iter().enumerate() {
+            let cell = alloc_matrix_cell(layout, cap, THREADS, TARGET_ALLOCS);
+            tput[li][ci] = cell.allocs_per_sec;
+            sweep[li][ci] = cell.mean_sweep_ns;
+            rows.push(cell.row);
+        }
+    }
+    let speedup = tput[1][0] / tput[0][0].max(1.0);
+    let slab_sweep_growth = sweep[0][1] / sweep[0][0].max(1.0);
+    let seg_sweep_growth = sweep[1][1] / sweep[1][0].max(1.0);
+    println!(
+        "segmented/slab alloc throughput at cap {}: {speedup:.2}x",
+        CAPACITIES[0]
+    );
+    println!(
+        "sweep ns/cycle growth, cap {}x: slab {slab_sweep_growth:.2}x vs segmented {seg_sweep_growth:.2}x",
+        CAPACITIES[1] / CAPACITIES[0]
+    );
+    let record = gc_trace::bench_record(
+        "heap_alloc",
+        &[
+            ("threads", Json::from(THREADS)),
+            ("target_allocs", Json::from(TARGET_ALLOCS)),
+            (
+                "capacities",
+                Json::Arr(CAPACITIES.iter().map(|&c| Json::from(c)).collect()),
+            ),
+        ],
+        &[
+            ("cells", Json::Arr(rows)),
+            ("segmented_over_slab_allocs_per_sec", Json::from(speedup)),
+            ("slab_sweep_growth", Json::from(slab_sweep_growth)),
+            ("segmented_sweep_growth", Json::from(seg_sweep_growth)),
+        ],
+        None,
+    );
+    match write_bench_record("heap_alloc", &record) {
+        Ok(path) => println!("bench record -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench record: {e}"),
+    }
+
+    // ---- Part 3: floating garbage is gone within two cycles -------------
+    println!("\n== floating garbage: reclaimed within two cycles ==");
+    let collector = Collector::new(GcConfig::builder().capacity(64).max_fields(1).build());
     let mut m = collector.register_mutator();
     let a = m.alloc(1).expect("room");
     let b = m.alloc(1).expect("room");
@@ -154,18 +363,24 @@ fn main() {
     );
     assert_eq!(collector.live_objects(), 1);
 
-    // ---- Part 3: ablations trip the oracle on real threads --------------
+    // ---- Part 4: ablations trip the oracle on real threads --------------
     for (name, cfg) in [
-        ("no insertion barrier", {
-            let mut c = GcConfig::new(512, 2);
-            c.insertion_barrier = false;
-            c
-        }),
-        ("no deletion barrier", {
-            let mut c = GcConfig::new(512, 2);
-            c.deletion_barrier = false;
-            c
-        }),
+        (
+            "no insertion barrier",
+            GcConfig::builder()
+                .capacity(512)
+                .max_fields(2)
+                .insertion_barrier(false)
+                .build(),
+        ),
+        (
+            "no deletion barrier",
+            GcConfig::builder()
+                .capacity(512)
+                .max_fields(2)
+                .deletion_barrier(false)
+                .build(),
+        ),
     ] {
         println!("\n== ablation on real threads: {name} ==");
         let mut tripped = false;

@@ -18,8 +18,10 @@
 //!   phase is idle, and all garbage is reclaimed within two completed
 //!   cycles.
 //!
-//! Usage: `torture [--seeds 1,2,3] [--ops N] [--mutators K] [--capacity N]`
-//! Exits nonzero if any seed's verdict is not OK.
+//! Usage: `torture [--seeds 1,2,3] [--ops N] [--mutators K] [--capacity N]
+//! [--layout slab|segmented|both]`. Every seed runs once per selected heap
+//! layout — the chaos plans include storms on the segmented-only TLAB
+//! refill and lazy-sweep sites. Exits nonzero if any verdict is not OK.
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -28,7 +30,7 @@ use std::time::Duration;
 
 use gc_bench::write_bench_record;
 use gc_trace::Json;
-use otf_gc::{Collector, FaultPlan, Gc, GcConfig, Mutator};
+use otf_gc::{Collector, FaultPlan, Gc, GcConfig, HeapLayout, Mutator};
 
 /// One mutator's churn loop: grow a shared list off `anchor`, cut it loose
 /// periodically, and walk the visible prefix (every access validated by the
@@ -81,6 +83,7 @@ fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
 
 struct SeedReport {
     seed: u64,
+    layout: &'static str,
     completed: u64,
     timed_out: u64,
     evictions: u64,
@@ -89,13 +92,23 @@ struct SeedReport {
     verdict: Result<(), String>,
 }
 
-fn run_seed(seed: u64, mutators: usize, ops: usize, capacity: usize) -> SeedReport {
+fn run_seed(
+    seed: u64,
+    layout: HeapLayout,
+    mutators: usize,
+    ops: usize,
+    capacity: usize,
+) -> SeedReport {
     let plan = FaultPlan::from_seed(seed);
-    let cfg = GcConfig::new(capacity, 2)
-        .with_handshake_timeout(Duration::from_millis(40))
-        .with_alloc_retries(2)
-        .with_alloc_pool(if seed.is_multiple_of(2) { 0 } else { 8 })
-        .with_chaos(plan);
+    let cfg = GcConfig::builder()
+        .capacity(capacity)
+        .max_fields(2)
+        .layout(layout)
+        .handshake_timeout(Duration::from_millis(40))
+        .emergency_retries(2)
+        .alloc_pool(if seed.is_multiple_of(2) { 0 } else { 8 })
+        .chaos(plan)
+        .build();
     let collector = Collector::new(cfg);
 
     // Root the shared anchor from a bootstrap mutator until every churner
@@ -193,6 +206,7 @@ fn run_seed(seed: u64, mutators: usize, ops: usize, capacity: usize) -> SeedRepo
     let st = collector.stats();
     SeedReport {
         seed,
+        layout: layout.name(),
         completed: st.cycles(),
         timed_out: st.cycle_timeouts(),
         evictions: st.evictions(),
@@ -202,11 +216,22 @@ fn run_seed(seed: u64, mutators: usize, ops: usize, capacity: usize) -> SeedRepo
     }
 }
 
-fn parse_args() -> (Vec<u64>, usize, usize, usize) {
+/// The segmented geometry the torture runs use: small segments relative
+/// to capacity so refills and lazy sweeps happen constantly.
+fn segmented(capacity: usize) -> HeapLayout {
+    let segment_slots = if capacity.is_multiple_of(64) { 64 } else { 1 };
+    HeapLayout::Segmented {
+        segment_slots,
+        tlab_slots: segment_slots.min(16),
+    }
+}
+
+fn parse_args() -> (Vec<u64>, usize, usize, usize, Vec<&'static str>) {
     let mut seeds: Vec<u64> = (1..=10).collect();
     let mut ops = 20_000usize;
     let mut mutators = 4usize;
     let mut capacity = 1_024usize;
+    let mut layouts = vec!["slab", "segmented"];
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -234,50 +259,66 @@ fn parse_args() -> (Vec<u64>, usize, usize, usize) {
                 capacity = need(i).parse().expect("capacity must be a usize");
                 i += 2;
             }
+            "--layout" => {
+                layouts = match need(i).as_str() {
+                    "slab" => vec!["slab"],
+                    "segmented" => vec!["segmented"],
+                    "both" => vec!["slab", "segmented"],
+                    other => panic!("--layout must be slab|segmented|both, got {other}"),
+                };
+                i += 2;
+            }
             other => panic!("unknown argument: {other}"),
         }
     }
-    (seeds, ops, mutators, capacity)
+    (seeds, ops, mutators, capacity, layouts)
 }
 
 fn main() {
     // Injected panics are expected by the dozen: keep stderr quiet and
     // report through the captured payloads instead.
     std::panic::set_hook(Box::new(|_| {}));
-    let (seeds, ops, mutators, capacity) = parse_args();
+    let (seeds, ops, mutators, capacity, layouts) = parse_args();
     println!(
-        "== torture: {} seeds x {mutators} mutators x {ops} ops, capacity {capacity} ==",
+        "== torture: {} seeds x {mutators} mutators x {ops} ops, capacity {capacity}, layouts {layouts:?} ==",
         seeds.len()
     );
     println!(
-        "{:>6} | {:>9} | {:>8} | {:>7} | {:>6} | {:>6} | verdict",
-        "seed", "completed", "timedout", "evicted", "panics", "faults"
+        "{:>6} | {:>9} | {:>9} | {:>8} | {:>7} | {:>6} | {:>6} | verdict",
+        "seed", "layout", "completed", "timedout", "evicted", "panics", "faults"
     );
     let mut failures = 0;
     let mut rows: Vec<Json> = Vec::new();
-    for &seed in &seeds {
-        let r = run_seed(seed, mutators, ops, capacity);
-        let verdict = match &r.verdict {
-            Ok(()) => "OK".to_string(),
-            Err(e) => {
-                failures += 1;
-                format!("FAIL: {e}")
-            }
+    for &layout_name in &layouts {
+        let layout = match layout_name {
+            "slab" => HeapLayout::Slab,
+            _ => segmented(capacity),
         };
-        println!(
-            "{:>6} | {:>9} | {:>8} | {:>7} | {:>6} | {:>6} | {verdict}",
-            r.seed, r.completed, r.timed_out, r.evictions, r.chaos_panics, r.fired
-        );
-        rows.push(
-            Json::obj()
-                .set("seed", r.seed)
-                .set("completed", r.completed)
-                .set("timed_out", r.timed_out)
-                .set("evictions", r.evictions)
-                .set("chaos_panics", r.chaos_panics)
-                .set("faults_fired", r.fired)
-                .set("verdict", verdict.as_str()),
-        );
+        for &seed in &seeds {
+            let r = run_seed(seed, layout, mutators, ops, capacity);
+            let verdict = match &r.verdict {
+                Ok(()) => "OK".to_string(),
+                Err(e) => {
+                    failures += 1;
+                    format!("FAIL: {e}")
+                }
+            };
+            println!(
+                "{:>6} | {:>9} | {:>9} | {:>8} | {:>7} | {:>6} | {:>6} | {verdict}",
+                r.seed, r.layout, r.completed, r.timed_out, r.evictions, r.chaos_panics, r.fired
+            );
+            rows.push(
+                Json::obj()
+                    .set("seed", r.seed)
+                    .set("layout", r.layout)
+                    .set("completed", r.completed)
+                    .set("timed_out", r.timed_out)
+                    .set("evictions", r.evictions)
+                    .set("chaos_panics", r.chaos_panics)
+                    .set("faults_fired", r.fired)
+                    .set("verdict", verdict.as_str()),
+            );
+        }
     }
     let record = gc_trace::bench_record(
         "torture",
@@ -286,6 +327,10 @@ fn main() {
             ("mutators", Json::from(mutators)),
             ("ops", Json::from(ops)),
             ("capacity", Json::from(capacity)),
+            (
+                "layouts",
+                Json::Arr(layouts.iter().map(|&l| Json::from(l)).collect()),
+            ),
         ],
         &[
             ("failures", Json::from(failures as u64)),

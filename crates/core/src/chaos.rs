@@ -37,7 +37,15 @@
 //!   loop (a descheduled collector mid-trace: mutators keep allocating and
 //!   greying against a trace that is barely progressing). The time spent
 //!   is accounted to [`CycleStats::chaos_ns`](crate::CycleStats::chaos_ns),
-//!   *excluded* from `mark_ns`, so timing reports stay honest under chaos.
+//!   *excluded* from `mark_ns`, so timing reports stay honest under chaos;
+//! * [`ChaosSite::TlabRefill`] — yield storms on the segmented heap's
+//!   TLAB-refill path (a mutator descheduled between exhausting its buffer
+//!   and claiming a segment, racing other refills and the collector's
+//!   sweep publication);
+//! * [`ChaosSite::LazySweep`] — yield storms right after a mutator
+//!   lazily swept a segment (stretching the window in which freshly
+//!   reclaimed slots, the free-segment stack, and the sweep generation are
+//!   observed by other threads).
 //!
 //! [`MarkOutcome::Lost`]: crate::heap::MarkOutcome
 //! [`Collector::stop`]: crate::Collector::stop
@@ -65,11 +73,15 @@ pub enum ChaosSite {
     CollectorPanic = 5,
     /// Yield storm inside the collector's mark loop.
     MarkDelay = 6,
+    /// Yield storm on the segmented heap's TLAB-refill path.
+    TlabRefill = 7,
+    /// Yield storm after a mutator-driven lazy segment sweep.
+    LazySweep = 8,
 }
 
 impl ChaosSite {
     /// Number of injection sites.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 9;
 
     /// Every site, in `repr` order.
     pub const ALL: [ChaosSite; ChaosSite::COUNT] = [
@@ -80,6 +92,8 @@ impl ChaosSite {
         ChaosSite::SlowTransfer,
         ChaosSite::CollectorPanic,
         ChaosSite::MarkDelay,
+        ChaosSite::TlabRefill,
+        ChaosSite::LazySweep,
     ];
 
     /// A short stable name for reports.
@@ -92,6 +106,8 @@ impl ChaosSite {
             ChaosSite::SlowTransfer => "slow_transfer",
             ChaosSite::CollectorPanic => "collector_panic",
             ChaosSite::MarkDelay => "mark_delay",
+            ChaosSite::TlabRefill => "tlab_refill",
+            ChaosSite::LazySweep => "lazy_sweep",
         }
     }
 }
@@ -131,6 +147,10 @@ pub struct FaultPlan {
     /// Rate of yield storms inside the collector's mark loop (per traced
     /// object).
     pub mark_delay: u32,
+    /// Rate of yield storms on the segmented heap's TLAB-refill path.
+    pub tlab_refill: u32,
+    /// Rate of yield storms after a mutator-driven lazy segment sweep.
+    pub lazy_sweep: u32,
 }
 
 impl Default for FaultPlan {
@@ -153,6 +173,8 @@ impl FaultPlan {
             slow_transfer: 0,
             collector_panic_at_cycle: None,
             mark_delay: 0,
+            tlab_refill: 0,
+            lazy_sweep: 0,
         }
     }
 
@@ -190,6 +212,10 @@ impl FaultPlan {
             collector_panic_at_cycle: None,
             // Per traced object, so even small rates stretch most marks.
             mark_delay: r(7, 20, 300),
+            // Per refill / per swept segment: refills are much rarer than
+            // allocations, so these rates land high enough to matter.
+            tlab_refill: r(8, 100, 1_500),
+            lazy_sweep: r(9, 100, 1_500),
         }
     }
 
@@ -243,6 +269,20 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the TLAB-refill delay-storm rate.
+    #[must_use]
+    pub fn with_tlab_refill(mut self, rate: u32) -> Self {
+        self.tlab_refill = rate;
+        self
+    }
+
+    /// Sets the post-lazy-sweep delay-storm rate.
+    #[must_use]
+    pub fn with_lazy_sweep(mut self, rate: u32) -> Self {
+        self.lazy_sweep = rate;
+        self
+    }
+
     /// Whether any injection is armed. The single-branch guard every hot
     /// path checks first.
     #[inline]
@@ -264,6 +304,8 @@ impl FaultPlan {
             ChaosSite::SlowTransfer => self.slow_transfer,
             ChaosSite::CollectorPanic => 0, // cycle-indexed, not rate-drawn
             ChaosSite::MarkDelay => self.mark_delay,
+            ChaosSite::TlabRefill => self.tlab_refill,
+            ChaosSite::LazySweep => self.lazy_sweep,
         }
     }
 
@@ -364,6 +406,8 @@ mod tests {
             assert!(p.mutator_panic < RATE_SCALE);
             assert!(p.slow_transfer < RATE_SCALE);
             assert!(p.mark_delay < RATE_SCALE);
+            assert!(p.tlab_refill < RATE_SCALE);
+            assert!(p.lazy_sweep < RATE_SCALE);
             assert!((1..=4).contains(&p.silence_generations));
             assert_eq!(FaultPlan::from_seed(seed), p, "derivation is pure");
         }

@@ -388,6 +388,25 @@ impl Shared {
         // black in the current sense.
         hs_or_abort!(HsTy::Noop);
 
+        // Per-cycle TLAB/lazy-sweep activity is reported as deltas of the
+        // global counters between here and cycle end.
+        let tlab_refills_before = sh.stats.tlab_refills.load(Ordering::Relaxed);
+        let lazy_swept_before = sh.stats.lazy_sweep_segments.load(Ordering::Relaxed);
+
+        // Segmented layout: mop up every segment still carrying the
+        // previous cycle's garbage verdict. This MUST precede both the
+        // repaint below and the sense flip — senses alternate, so a
+        // segment left two verdicts behind would read its old garbage as
+        // "marked" in the newest sense and resurrect it. With the mop-up,
+        // at most one verdict is ever outstanding. (The objects freed
+        // here were already counted by the cycle that condemned them.)
+        let (mopped, _already_counted) = sh.heap.complete_pending_sweeps();
+        if mopped > 0 {
+            sh.stats
+                .lazy_sweep_segments
+                .fetch_add(mopped as u64, Ordering::Relaxed);
+        }
+
         // Recover from a previous abort: every mutator has now synchronised
         // past the handshake above (so no allocation with a stale `f_A` can
         // race us, and barriers are inert at Idle) — repaint the heap
@@ -462,11 +481,19 @@ impl Shared {
             phase: Phase::Sweep as u8
         });
         let t_sweep = Instant::now();
-        for idx in 0..sh.heap.capacity() as u32 {
-            let (alloc, flag, _) = sh.heap.slot_status(idx);
-            if alloc && flag != fm {
-                sh.heap.free_slot(idx);
-                cycle.freed += 1;
+        if sh.heap.is_segmented() {
+            // Lazy sweep: publish this cycle's garbage verdict in one
+            // O(capacity / 64) popcount pass; allocating mutators (and
+            // next cycle's mop-up) reclaim the condemned slots on
+            // demand, so this no longer scales with heap capacity.
+            cycle.freed = sh.heap.publish_sweep(fm);
+        } else {
+            for idx in 0..sh.heap.capacity() as u32 {
+                let (alloc, flag, _) = sh.heap.slot_status(idx);
+                if alloc && flag != fm {
+                    sh.heap.free_slot(idx);
+                    cycle.freed += 1;
+                }
             }
         }
         cycle.sweep_ns = t_sweep.elapsed().as_nanos() as u64;
@@ -475,6 +502,10 @@ impl Shared {
             phase: Phase::Idle as u8
         });
 
+        cycle.tlab_refills =
+            (sh.stats.tlab_refills.load(Ordering::Relaxed) - tlab_refills_before) as usize;
+        cycle.lazy_swept_segments =
+            (sh.stats.lazy_sweep_segments.load(Ordering::Relaxed) - lazy_swept_before) as usize;
         cycle.live_after = sh.heap.live();
         cycle.duration_ns = t0.elapsed().as_nanos() as u64;
         debug_assert!(
@@ -569,7 +600,7 @@ impl Collector {
     /// Creates a collector with the given configuration. The heap starts
     /// empty and the collector idle.
     pub fn new(cfg: GcConfig) -> Self {
-        let heap = Heap::new(cfg.capacity, cfg.max_fields, cfg.validate);
+        let heap = Heap::new(cfg.capacity, cfg.max_fields, cfg.validate, cfg.layout);
         Collector {
             shared: Arc::new(Shared {
                 cfg,

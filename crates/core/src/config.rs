@@ -1,14 +1,140 @@
 //! Runtime collector configuration.
+//!
+//! The supported way to build a configuration is the builder:
+//!
+//! ```
+//! use otf_gc::{GcConfig, HeapLayout};
+//! use std::time::Duration;
+//!
+//! let cfg = GcConfig::builder()
+//!     .capacity(4096)
+//!     .max_fields(2)
+//!     .layout(HeapLayout::Segmented {
+//!         segment_slots: 256,
+//!         tlab_slots: 32,
+//!     })
+//!     .handshake_timeout(Duration::from_millis(50))
+//!     .emergency_retries(2)
+//!     .build();
+//! assert_eq!(cfg.capacity, 4096);
+//! ```
+//!
+//! The struct's fields remain `pub` so existing code keeps compiling, but
+//! **direct field mutation is deprecated in favour of the builder**: the
+//! builder validates cross-field invariants (segment geometry, handle index
+//! space) at [`GcConfigBuilder::build`], which ad-hoc mutation silently
+//! skips. [`GcConfig::new`] and the `with_*` helpers remain as shorthands
+//! and route through the same validation.
 
+use std::error::Error;
+use std::fmt;
 use std::time::Duration;
 
 use crate::chaos::FaultPlan;
 
+/// How the heap arranges its object slots.
+///
+/// Both layouts expose the identical allocation/marking interface to the
+/// collector — the Figs. 2/5/6 barriers, mark-CAS and handshake protocol
+/// are layout-independent — so they are runnable and comparable in one
+/// binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HeapLayout {
+    /// The verified model's layout: one flat slot array with a single
+    /// mutex-protected free list, eagerly swept by the collector.
+    #[default]
+    Slab,
+    /// The scalable layout: the slot array is partitioned into fixed-size
+    /// segments. Mutators bump-allocate from private thread-local
+    /// allocation buffers (TLABs) harvested from segments claimed off a
+    /// lock-free free stack; mark state lives in per-segment side bitmaps
+    /// (word-parallel, still sense-relative per Lamport's trick); and the
+    /// sweep is *lazy* — the collector only publishes the cycle's garbage
+    /// verdict, and allocating mutators reclaim segments on demand.
+    Segmented {
+        /// Slots per segment. Must divide the heap capacity.
+        segment_slots: usize,
+        /// Slots a mutator harvests per TLAB refill (1..=`segment_slots`).
+        tlab_slots: usize,
+    },
+}
+
+impl HeapLayout {
+    /// A segmented layout with geometry picked from the capacity: segments
+    /// of 256 slots (or the whole heap when smaller) and 32-slot TLABs.
+    pub fn segmented_default(capacity: usize) -> Self {
+        let segment_slots = if capacity >= 256 {
+            // Largest power-of-two divisor of `capacity` up to 256.
+            let mut s = 256;
+            while s > 1 && !capacity.is_multiple_of(s) {
+                s /= 2;
+            }
+            s
+        } else {
+            capacity
+        };
+        HeapLayout::Segmented {
+            segment_slots,
+            tlab_slots: segment_slots.clamp(1, 32),
+        }
+    }
+
+    /// A short stable name for reports and bench records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HeapLayout::Slab => "slab",
+            HeapLayout::Segmented { .. } => "segmented",
+        }
+    }
+}
+
+/// A configuration rejected by [`GcConfigBuilder::try_build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The heap capacity is zero or exceeds the handle index space.
+    Capacity(usize),
+    /// The per-object field bound exceeds the header's 8-bit field count.
+    MaxFields(usize),
+    /// Segmented-layout geometry is inconsistent with the capacity.
+    SegmentGeometry {
+        /// The offending capacity.
+        capacity: usize,
+        /// The offending slots-per-segment.
+        segment_slots: usize,
+        /// The offending TLAB size.
+        tlab_slots: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Capacity(c) => {
+                write!(f, "heap capacity {c} must be positive and < 2^32 - 1")
+            }
+            ConfigError::MaxFields(n) => write!(f, "max_fields {n} exceeds the bound of 255"),
+            ConfigError::SegmentGeometry {
+                capacity,
+                segment_slots,
+                tlab_slots,
+            } => write!(
+                f,
+                "segmented geometry invalid: capacity {capacity} must be a positive \
+                 multiple of segment_slots {segment_slots}, and tlab_slots {tlab_slots} \
+                 must be in 1..=segment_slots"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
 /// Configuration for a [`Collector`](crate::Collector).
 ///
-/// The ablation switches mirror the model's
-/// (`gc-model::ModelConfig`) so that the stress tests can reproduce on real
-/// threads exactly the failures the model checker exhibits as traces.
+/// Build one with [`GcConfig::builder`] (preferred) or [`GcConfig::new`].
+/// The ablation switches mirror the model's (`gc-model::ModelConfig`) so
+/// that the stress tests can reproduce on real threads exactly the failures
+/// the model checker exhibits as traces.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GcConfig {
     /// Number of object slots in the heap.
@@ -16,6 +142,8 @@ pub struct GcConfig {
     /// Maximum reference fields per object (per-object counts are chosen at
     /// allocation, up to this bound).
     pub max_fields: usize,
+    /// The heap layout (see [`HeapLayout`]).
+    pub layout: HeapLayout,
     /// Validate every heap access against the slot epoch (use-after-free
     /// detection — the runtime oracle for the safety property). Costs two
     /// relaxed loads per access; on for all tests.
@@ -30,11 +158,12 @@ pub struct GcConfig {
     pub mark_cas: bool,
     /// **Ablation** — `false` removes the handshake fences.
     pub handshake_fences: bool,
-    /// Per-mutator allocation pool size (the §4 extension): each mutator
-    /// reserves this many slots from the global free list at a time and
-    /// allocates from them without synchronisation. `0` disables pooling
-    /// (every allocation takes the free-list lock, as in the verified
-    /// model).
+    /// Per-mutator allocation pool size for the [`HeapLayout::Slab`] layout
+    /// (the §4 extension): each mutator reserves this many slots from the
+    /// global free list at a time and allocates from them without
+    /// synchronisation. `0` disables pooling (every allocation takes the
+    /// free-list lock, as in the verified model). Ignored by
+    /// [`HeapLayout::Segmented`], whose TLABs subsume it.
     pub alloc_pool: usize,
     /// Handshake watchdog: how long a soft-handshake round may wait for
     /// stragglers before the watchdog acts (evicting beat-less mutators
@@ -56,25 +185,46 @@ pub struct GcConfig {
     /// [`AllocError::Exhausted`](crate::AllocError::Exhausted). `0`
     /// restores the legacy behaviour of returning
     /// [`AllocError::HeapFull`](crate::AllocError::HeapFull) immediately.
+    /// Set via [`GcConfigBuilder::emergency_retries`].
     pub alloc_retries: usize,
+    /// Cap on the exponential backoff sleep while an emergency allocation
+    /// waits on an in-flight cycle (see
+    /// [`GcConfigBuilder::emergency_backoff`]).
+    pub emergency_backoff: Duration,
     /// Deterministic fault injection (see [`FaultPlan`]). The default
     /// [`FaultPlan::none`] is zero-cost on the hot paths.
     pub chaos: FaultPlan,
 }
 
 impl GcConfig {
+    /// A builder seeded with the defaults of [`GcConfig::new(1024, 2)`]:
+    /// everything faithful, validation on, slab layout.
+    ///
+    /// [`GcConfig::new(1024, 2)`]: GcConfig::new
+    pub fn builder() -> GcConfigBuilder {
+        GcConfigBuilder {
+            cfg: GcConfig::unchecked(1024, 2),
+        }
+    }
+
     /// A configuration with the given heap capacity and per-object field
-    /// bound, everything faithful, validation on.
+    /// bound, everything faithful, validation on, slab layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid capacity or field bound — the same validation
+    /// as [`GcConfigBuilder::build`].
     pub fn new(capacity: usize, max_fields: usize) -> Self {
-        assert!(capacity > 0, "heap capacity must be positive");
-        assert!(
-            capacity < u32::MAX as usize,
-            "heap capacity exceeds the handle index space"
-        );
-        assert!(max_fields <= 255, "at most 255 fields per object");
+        GcConfig::unchecked(capacity, max_fields)
+            .validated()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn unchecked(capacity: usize, max_fields: usize) -> Self {
         GcConfig {
             capacity,
             max_fields,
+            layout: HeapLayout::Slab,
             validate: true,
             deletion_barrier: true,
             insertion_barrier: true,
@@ -84,11 +234,41 @@ impl GcConfig {
             handshake_timeout: None,
             evict_dead: true,
             alloc_retries: 2,
+            emergency_backoff: Duration::from_millis(1),
             chaos: FaultPlan::none(),
         }
     }
 
-    /// Enables the §4 allocation-pool extension with the given batch size.
+    /// Checks the cross-field invariants the builder enforces.
+    fn validated(self) -> Result<Self, ConfigError> {
+        if self.capacity == 0 || self.capacity >= u32::MAX as usize {
+            return Err(ConfigError::Capacity(self.capacity));
+        }
+        if self.max_fields > 255 {
+            return Err(ConfigError::MaxFields(self.max_fields));
+        }
+        if let HeapLayout::Segmented {
+            segment_slots,
+            tlab_slots,
+        } = self.layout
+        {
+            let geometry_ok = segment_slots > 0
+                && self.capacity.is_multiple_of(segment_slots)
+                && tlab_slots >= 1
+                && tlab_slots <= segment_slots;
+            if !geometry_ok {
+                return Err(ConfigError::SegmentGeometry {
+                    capacity: self.capacity,
+                    segment_slots,
+                    tlab_slots,
+                });
+            }
+        }
+        Ok(self)
+    }
+
+    /// Enables the §4 allocation-pool extension with the given batch size
+    /// (slab layout only).
     #[must_use]
     pub fn with_alloc_pool(mut self, slots: usize) -> Self {
         self.alloc_pool = slots;
@@ -115,6 +295,159 @@ impl GcConfig {
         self.chaos = plan;
         self
     }
+
+    /// Selects the heap layout, validating its geometry against the
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent segment geometry (same validation as
+    /// [`GcConfigBuilder::build`]).
+    #[must_use]
+    pub fn with_layout(mut self, layout: HeapLayout) -> Self {
+        self.layout = layout;
+        self.validated().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Builder for [`GcConfig`]: typed setters, cross-field validation at
+/// [`build`](GcConfigBuilder::build).
+#[derive(Debug, Clone)]
+pub struct GcConfigBuilder {
+    cfg: GcConfig,
+}
+
+impl GcConfigBuilder {
+    /// Sets the heap capacity in slots.
+    #[must_use]
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.cfg.capacity = capacity;
+        self
+    }
+
+    /// Sets the per-object reference-field bound.
+    #[must_use]
+    pub fn max_fields(mut self, max_fields: usize) -> Self {
+        self.cfg.max_fields = max_fields;
+        self
+    }
+
+    /// Selects the heap layout.
+    #[must_use]
+    pub fn layout(mut self, layout: HeapLayout) -> Self {
+        self.cfg.layout = layout;
+        self
+    }
+
+    /// Switches the use-after-free validation oracle on or off.
+    #[must_use]
+    pub fn validate(mut self, on: bool) -> Self {
+        self.cfg.validate = on;
+        self
+    }
+
+    /// **Ablation** — removes the deletion barrier when `false`.
+    #[must_use]
+    pub fn deletion_barrier(mut self, on: bool) -> Self {
+        self.cfg.deletion_barrier = on;
+        self
+    }
+
+    /// **Ablation** — removes the insertion barrier when `false`.
+    #[must_use]
+    pub fn insertion_barrier(mut self, on: bool) -> Self {
+        self.cfg.insertion_barrier = on;
+        self
+    }
+
+    /// **Ablation** — replaces the marking CAS by an unsynchronised
+    /// read-modify-write when `false`.
+    #[must_use]
+    pub fn mark_cas(mut self, on: bool) -> Self {
+        self.cfg.mark_cas = on;
+        self
+    }
+
+    /// **Ablation** — removes the handshake fences when `false`.
+    #[must_use]
+    pub fn handshake_fences(mut self, on: bool) -> Self {
+        self.cfg.handshake_fences = on;
+        self
+    }
+
+    /// Sets the slab layout's per-mutator allocation pool size.
+    #[must_use]
+    pub fn alloc_pool(mut self, slots: usize) -> Self {
+        self.cfg.alloc_pool = slots;
+        self
+    }
+
+    /// Arms the handshake watchdog with the given timeout.
+    #[must_use]
+    pub fn handshake_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.handshake_timeout = Some(timeout);
+        self
+    }
+
+    /// Disarms the handshake watchdog (the default).
+    #[must_use]
+    pub fn no_handshake_timeout(mut self) -> Self {
+        self.cfg.handshake_timeout = None;
+        self
+    }
+
+    /// Whether the armed watchdog may evict beat-less mutators.
+    #[must_use]
+    pub fn evict_dead(mut self, on: bool) -> Self {
+        self.cfg.evict_dead = on;
+        self
+    }
+
+    /// Sets the emergency-collection retry budget
+    /// ([`GcConfig::alloc_retries`]) for a full heap. `0` makes
+    /// [`Mutator::alloc`](crate::Mutator::alloc) fail fast with
+    /// [`AllocError::HeapFull`](crate::AllocError::HeapFull).
+    #[must_use]
+    pub fn emergency_retries(mut self, retries: usize) -> Self {
+        self.cfg.alloc_retries = retries;
+        self
+    }
+
+    /// Caps the exponential backoff sleep used while an emergency
+    /// allocation helps an in-flight cycle along. Shorter caps retry
+    /// allocation sooner at the cost of more wakeups.
+    #[must_use]
+    pub fn emergency_backoff(mut self, cap: Duration) -> Self {
+        self.cfg.emergency_backoff = cap;
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    #[must_use]
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.cfg.chaos = plan;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when the capacity, field bound, or segment geometry
+    /// is inconsistent.
+    pub fn try_build(self) -> Result<GcConfig, ConfigError> {
+        self.cfg.validated()
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message on an invalid configuration;
+    /// use [`try_build`](GcConfigBuilder::try_build) to handle it instead.
+    pub fn build(self) -> GcConfig {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
 }
 
 #[cfg(test)]
@@ -126,11 +459,110 @@ mod tests {
         let c = GcConfig::new(16, 2);
         assert!(c.validate && c.deletion_barrier && c.insertion_barrier);
         assert!(c.mark_cas && c.handshake_fences);
+        assert_eq!(c.layout, HeapLayout::Slab);
     }
 
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = GcConfig::new(0, 1);
+    }
+
+    #[test]
+    fn builder_round_trips_every_field() {
+        let plan = FaultPlan::new(3).with_cas_lost(100);
+        let c = GcConfig::builder()
+            .capacity(512)
+            .max_fields(3)
+            .layout(HeapLayout::Segmented {
+                segment_slots: 64,
+                tlab_slots: 8,
+            })
+            .validate(false)
+            .deletion_barrier(false)
+            .insertion_barrier(false)
+            .mark_cas(false)
+            .handshake_fences(false)
+            .alloc_pool(7)
+            .handshake_timeout(Duration::from_millis(9))
+            .evict_dead(false)
+            .emergency_retries(5)
+            .emergency_backoff(Duration::from_micros(200))
+            .chaos(plan.clone())
+            .build();
+        assert_eq!(c.capacity, 512);
+        assert_eq!(c.max_fields, 3);
+        assert_eq!(
+            c.layout,
+            HeapLayout::Segmented {
+                segment_slots: 64,
+                tlab_slots: 8
+            }
+        );
+        assert!(!c.validate && !c.deletion_barrier && !c.insertion_barrier);
+        assert!(!c.mark_cas && !c.handshake_fences && !c.evict_dead);
+        assert_eq!(c.alloc_pool, 7);
+        assert_eq!(c.handshake_timeout, Some(Duration::from_millis(9)));
+        assert_eq!(c.alloc_retries, 5);
+        assert_eq!(c.emergency_backoff, Duration::from_micros(200));
+        assert_eq!(c.chaos, plan);
+    }
+
+    #[test]
+    fn builder_rejects_bad_segment_geometry() {
+        // segment_slots does not divide capacity
+        let err = GcConfig::builder()
+            .capacity(100)
+            .layout(HeapLayout::Segmented {
+                segment_slots: 64,
+                tlab_slots: 8,
+            })
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::SegmentGeometry { .. }));
+        // tlab_slots exceeds segment_slots
+        assert!(GcConfig::builder()
+            .capacity(128)
+            .layout(HeapLayout::Segmented {
+                segment_slots: 64,
+                tlab_slots: 65,
+            })
+            .try_build()
+            .is_err());
+        // zero-slot segments
+        assert!(GcConfig::builder()
+            .capacity(128)
+            .layout(HeapLayout::Segmented {
+                segment_slots: 0,
+                tlab_slots: 1,
+            })
+            .try_build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_scalars() {
+        assert!(matches!(
+            GcConfig::builder().capacity(0).try_build(),
+            Err(ConfigError::Capacity(0))
+        ));
+        assert!(matches!(
+            GcConfig::builder().max_fields(256).try_build(),
+            Err(ConfigError::MaxFields(256))
+        ));
+    }
+
+    #[test]
+    fn segmented_default_geometry_is_valid() {
+        for capacity in [8usize, 100, 256, 4096, 100_000] {
+            let layout = HeapLayout::segmented_default(capacity);
+            let cfg = GcConfig::builder()
+                .capacity(capacity)
+                .layout(layout)
+                .try_build();
+            assert!(cfg.is_ok(), "capacity {capacity}: {cfg:?}");
+        }
+        assert_eq!(HeapLayout::segmented_default(4096).name(), "segmented");
+        assert_eq!(HeapLayout::Slab.name(), "slab");
     }
 }

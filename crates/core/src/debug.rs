@@ -40,9 +40,14 @@ impl Collector {
     ///   handshake state behind);
     /// * every registered mutator is active (eviction and deregistration
     ///   leave no zombies in the registry);
-    /// * the free list holds unique, in-bounds, unallocated slots;
-    /// * live objects plus free slots never exceed capacity (slots held in
-    ///   mutator allocation pools account for any slack).
+    /// * the heap's free-state structures are sound
+    ///   ([`Heap::debug_verify`](crate::heap::Heap::debug_verify)): on
+    ///   the slab, the free list holds unique, in-bounds, unallocated
+    ///   slots and live + free never exceeds capacity; on the segmented
+    ///   layout, the bitmaps are mutually consistent (`busy ⊇ live`,
+    ///   live bits agree with headers, no bits beyond capacity) and the
+    ///   free-segment stack is in-bounds and acyclic with honest
+    ///   on-stack flags.
     #[doc(hidden)]
     pub fn debug_verify_integrity(&self) -> Result<(), String> {
         let sh = self.shared_for_debug();
@@ -57,31 +62,7 @@ impl Collector {
                 return Err(format!("registered mutator {} is inactive", m.id));
             }
         }
-        let free = sh.heap.free_snapshot();
-        let cap = sh.heap.capacity();
-        let mut seen = vec![false; cap];
-        for &idx in &free {
-            let i = idx as usize;
-            if i >= cap {
-                return Err(format!("free-list index {i} out of bounds (cap {cap})"));
-            }
-            if seen[i] {
-                return Err(format!("slot {i} appears twice in the free list"));
-            }
-            seen[i] = true;
-            let (alloc, _, _) = sh.heap.slot_status(idx);
-            if alloc {
-                return Err(format!("slot {i} is both free-listed and allocated"));
-            }
-        }
-        let live = sh.heap.live();
-        if live + free.len() > cap {
-            return Err(format!(
-                "{live} live + {} free exceeds capacity {cap}",
-                free.len()
-            ));
-        }
-        Ok(())
+        sh.heap.debug_verify()
     }
 }
 

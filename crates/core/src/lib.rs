@@ -45,12 +45,22 @@
 //! fault-injection engine ([`FaultPlan`], module [`chaos`]) drives all of
 //! it in tests and the `torture` harness.
 //!
+//! The heap itself comes in two interchangeable layouts behind one
+//! allocation API ([`HeapLayout`], chosen with [`GcConfig::builder`]):
+//! the verified model's slot **slab** with a global free list, and a
+//! **segmented** heap — per-mutator TLABs refilled from a lock-free
+//! segment stack, per-segment side mark bitmaps, and a lazy sweep that
+//! takes segment reclamation off the collector's critical path. The
+//! barriers, marking CAS, and handshake protocol are identical in both.
+//!
 //! # Quickstart
 //!
 //! ```
 //! use otf_gc::{Collector, GcConfig};
 //!
-//! let collector = Collector::new(GcConfig::new(1024, 2));
+//! // `GcConfig::builder()` is the supported way to configure the
+//! // runtime; see `HeapLayout` for the segmented heap.
+//! let collector = Collector::new(GcConfig::builder().capacity(1024).max_fields(2).build());
 //! let mut m = collector.register_mutator();
 //!
 //! // Build a two-element list a -> b; b stays live only through a.
@@ -93,6 +103,9 @@ macro_rules! trace_event {
     ($variant:ident { $($field:ident : $value:expr),* $(,)? }) => {
         { $(let _ = &$value;)* }
     };
+    ($variant:ident { $($field:ident),* $(,)? }) => {
+        { $(let _ = &$field;)* }
+    };
     ($variant:ident) => {};
 }
 
@@ -111,7 +124,7 @@ mod worklist;
 pub use chaos::{ChaosSite, FaultPlan};
 pub use collections::{GcStack, GcTree};
 pub use collector::{Collector, CycleOutcome, MutId};
-pub use config::GcConfig;
+pub use config::{ConfigError, GcConfig, GcConfigBuilder, HeapLayout};
 pub use handle::Gc;
 pub use heap::{AllocError, Phase};
 pub use mutator::Mutator;

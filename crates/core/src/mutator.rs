@@ -7,8 +7,9 @@ use std::sync::Arc;
 
 use crate::chaos::{ChaosSite, STORM_YIELDS};
 use crate::collector::{MutId, MutatorShared, Shared};
+use crate::config::HeapLayout;
 use crate::handle::Gc;
-use crate::heap::AllocError;
+use crate::heap::{AllocError, NO_SEG};
 use crate::sync::Backoff;
 use crate::worklist::LocalList;
 
@@ -46,8 +47,12 @@ pub struct Mutator {
     /// Chaos: stay silent (beat but never acknowledge) until the handshake
     /// generation reaches this value. `0` = not silenced.
     silent_until_gen: u32,
-    /// Reserved free slots (the §4 allocation-pool extension).
+    /// Reserved free slots: the §4 allocation pool on the slab layout,
+    /// or the TLAB on the segmented layout.
     pool: Vec<u32>,
+    /// Segmented layout: the segment this mutator's TLAB last harvested
+    /// from ([`NO_SEG`] before the first refill). Unused on the slab.
+    cur_seg: u32,
 }
 
 impl std::fmt::Debug for Mutator {
@@ -70,6 +75,7 @@ impl Mutator {
             last_seen: 0,
             silent_until_gen: 0,
             pool: Vec::new(),
+            cur_seg: NO_SEG,
         }
     }
 
@@ -147,19 +153,40 @@ impl Mutator {
     /// marked with the current allocation color `f_A`, and roots it
     /// (Figure 6, `Alloc`).
     ///
-    /// On a full heap, degrades gracefully: up to
-    /// [`alloc_retries`](crate::GcConfig::alloc_retries) emergency
-    /// collection cycles are driven from this thread (answering our own
-    /// handshakes; helping along with backoff if a cycle is already in
-    /// flight) before giving up.
+    /// # Failure state machine
+    ///
+    /// Every call moves through the same three states, regardless of
+    /// heap layout:
+    ///
+    /// 1. **Fast path** — allocate from the thread-local reserve (the
+    ///    TLAB on [`HeapLayout::Segmented`], the §4 pool on
+    ///    [`HeapLayout::Slab`] when
+    ///    [`alloc_pool`](crate::GcConfig::alloc_pool) is set), refilling
+    ///    from shared state when dry. Success returns here.
+    /// 2. **Emergency collection** — the refill found the heap full.
+    ///    Up to [`alloc_retries`](crate::GcConfig::alloc_retries)
+    ///    collection cycles are driven from this thread (answering our
+    ///    own handshakes; if a cycle is already in flight, helping it
+    ///    along under exponential backoff capped by
+    ///    [`emergency_backoff`](crate::GcConfig::emergency_backoff)),
+    ///    retrying the allocation after each. Configure both knobs via
+    ///    [`GcConfigBuilder::emergency_retries`] and
+    ///    [`GcConfigBuilder::emergency_backoff`](crate::GcConfigBuilder::emergency_backoff).
+    /// 3. **Terminal verdict** — the budget is spent and the heap is
+    ///    still full: [`AllocError::Exhausted`] reports how much really
+    ///    is live. With a budget of `0`, state 2 is skipped and the
+    ///    refill failure surfaces directly as [`AllocError::HeapFull`].
+    ///
+    /// Use [`AllocError::is_retryable`] to tell the two apart
+    /// mechanically: `HeapFull` can succeed later (after a cycle);
+    /// `Exhausted` and [`AllocError::TooManyFields`] cannot.
     ///
     /// # Errors
     ///
-    /// [`AllocError::Exhausted`] when the heap stays full after the
-    /// emergency retry budget — its fields say how much really is live;
-    /// [`AllocError::HeapFull`] when `alloc_retries` is `0` (the legacy
-    /// fail-fast behaviour); [`AllocError::TooManyFields`] if `fields`
-    /// exceeds the heap's bound.
+    /// [`AllocError::Exhausted`], [`AllocError::HeapFull`], or
+    /// [`AllocError::TooManyFields`], per the state machine above.
+    ///
+    /// [`GcConfigBuilder::emergency_retries`]: crate::GcConfigBuilder::emergency_retries
     pub fn alloc(&mut self, fields: usize) -> Result<Gc, AllocError> {
         match self.try_alloc(fields) {
             Err(AllocError::HeapFull) if self.shared.cfg.alloc_retries > 0 => {
@@ -169,10 +196,19 @@ impl Mutator {
         }
     }
 
-    /// One allocation attempt, pool-first (the §4 extension).
+    /// One allocation attempt from the thread-local reserve (TLAB or §4
+    /// pool), refilling when dry.
     fn try_alloc(&mut self, fields: usize) -> Result<Gc, AllocError> {
         let fa = self.shared.fa.load(Ordering::Relaxed);
-        let g = if self.shared.cfg.alloc_pool > 0 {
+        let g = if self.shared.heap.is_segmented() {
+            if self.pool.is_empty() {
+                self.refill_tlab();
+            }
+            match self.pool.pop() {
+                Some(idx) => self.shared.heap.alloc_from(idx, fields, fa)?,
+                None => return Err(AllocError::HeapFull), // refill came up dry
+            }
+        } else if self.shared.cfg.alloc_pool > 0 {
             // §4 extension: allocate from the thread-local pool, refilling
             // in batches; only the refill touches the shared free list.
             if self.pool.is_empty() {
@@ -197,6 +233,51 @@ impl Mutator {
         Ok(g)
     }
 
+    /// Refills the TLAB from the segmented heap (lazily sweeping pending
+    /// segments along the way), recording stats and trace events.
+    fn refill_tlab(&mut self) {
+        let HeapLayout::Segmented { tlab_slots, .. } = self.shared.cfg.layout else {
+            unreachable!("TLAB refill on a slab heap");
+        };
+        if self.shared.chaos_fires(ChaosSite::TlabRefill) {
+            // Yield storm with the TLAB dry: stretch the window in which
+            // other mutators race us for the same segments' free bits.
+            for _ in 0..STORM_YIELDS {
+                std::thread::yield_now();
+            }
+        }
+        let (mut got, info) = self.shared.heap.refill_tlab(&mut self.cur_seg, tlab_slots);
+        self.shared
+            .stats
+            .tlab_refills
+            .fetch_add(1, Ordering::Relaxed);
+        trace_event!(TlabRefill {
+            got: got.len() as u32
+        });
+        if let Some(segment) = info.claimed_segment {
+            trace_event!(SegmentClaimed { segment });
+        }
+        for &(segment, freed) in &info.swept {
+            self.shared
+                .stats
+                .lazy_sweep_segments
+                .fetch_add(1, Ordering::Relaxed);
+            trace_event!(LazySweepSegment { segment, freed });
+            if self.shared.chaos_fires(ChaosSite::LazySweep) {
+                // Yield storm right after reclaiming a segment: the freed
+                // slots are visible to every allocator while we are slow
+                // to use them ourselves.
+                for _ in 0..STORM_YIELDS {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        // `pop` takes from the back; reverse so allocation order is
+        // lowest-index-first, matching the slab free list.
+        got.reverse();
+        self.pool = got;
+    }
+
     /// The graceful-degradation path for a full heap: drive emergency
     /// collection cycles from this thread until an allocation succeeds or
     /// the retry budget is spent, then report a structured
@@ -213,7 +294,7 @@ impl Mutator {
         // Cycles completed by anyone count against the budget: a full heap
         // that survives a whole collection is genuinely exhausted.
         let mut observed = self.shared.stats.cycles();
-        let mut backoff = Backoff::new();
+        let mut backoff = Backoff::with_max_sleep(self.shared.cfg.emergency_backoff);
         loop {
             match self.try_alloc(fields) {
                 Err(AllocError::HeapFull) => {}
@@ -331,6 +412,19 @@ impl Mutator {
     pub fn adopt(&mut self, r: Gc) {
         self.shared.heap.check(r);
         self.root(r);
+    }
+
+    /// Hands the unused thread-local reserve back to the heap on
+    /// deregistration — busy bits for a segmented TLAB, free-list slots
+    /// for a slab pool — so capacity never leaks with the thread.
+    fn return_reserve(&mut self) {
+        let reserve = std::mem::take(&mut self.pool);
+        self.cur_seg = NO_SEG;
+        if self.shared.heap.is_segmented() {
+            self.shared.heap.release_reserved(&reserve);
+        } else {
+            self.shared.heap.return_pool(reserve);
+        }
     }
 
     /// Transfers the private grey list to the collector's staging channel.
@@ -454,7 +548,7 @@ impl Drop for Mutator {
             // the thread, which is exactly what the collector will assume.
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 self.transfer();
-                self.shared.heap.return_pool(std::mem::take(&mut self.pool));
+                self.return_reserve();
             }));
             self.me.active.store(false, Ordering::Release);
             let mut reg = self.shared.registry.lock();
@@ -472,7 +566,7 @@ impl Drop for Mutator {
             self.answer(pending);
         }
         self.transfer();
-        self.shared.heap.return_pool(std::mem::take(&mut self.pool));
+        self.return_reserve();
         if self.shared.cfg.handshake_fences {
             fence(Ordering::SeqCst);
         }

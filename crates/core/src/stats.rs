@@ -34,6 +34,17 @@ pub struct CycleStats {
     /// Time lost to injected chaos delays inside the mark loop (ns) —
     /// [`ChaosSite::MarkDelay`] storms. Zero without chaos.
     pub chaos_ns: u64,
+    /// TLAB refills performed by mutators during this cycle (segmented
+    /// layout only; always zero on the slab).
+    pub tlab_refills: usize,
+    /// Segments lazily swept during this cycle — by allocating mutators
+    /// and by the collector's start-of-cycle mop-up (segmented layout
+    /// only). The reclaim work happens off the collector's critical
+    /// path, which is why [`CycleStats::sweep_ns`] stops scaling with
+    /// heap capacity; `timing_consistent()` stays honest because
+    /// mutator-side sweep time was never part of the cycle's phase
+    /// intervals in the first place.
+    pub lazy_swept_segments: usize,
 }
 
 impl CycleStats {
@@ -55,7 +66,8 @@ impl CycleStats {
         format!(
             "{{\"freed\":{},\"traced\":{},\"received\":{},\"work_rounds\":{},\
              \"live_after\":{},\"duration_ns\":{},\"handshake_ns\":{},\
-             \"mark_ns\":{},\"sweep_ns\":{},\"chaos_ns\":{}}}",
+             \"mark_ns\":{},\"sweep_ns\":{},\"chaos_ns\":{},\
+             \"tlab_refills\":{},\"lazy_swept_segments\":{}}}",
             self.freed,
             self.traced,
             self.received,
@@ -65,7 +77,9 @@ impl CycleStats {
             self.handshake_ns,
             self.mark_ns,
             self.sweep_ns,
-            self.chaos_ns
+            self.chaos_ns,
+            self.tlab_refills,
+            self.lazy_swept_segments
         )
     }
 }
@@ -111,6 +125,11 @@ pub struct GcStats {
     pub(crate) cycle_timeouts: AtomicU64,
     /// Emergency collection attempts triggered by a full heap.
     pub(crate) emergency_cycles: AtomicU64,
+    /// TLAB refills performed by mutators (segmented layout).
+    pub(crate) tlab_refills: AtomicU64,
+    /// Segments lazily swept — by mutators and the collector's mop-up
+    /// (segmented layout).
+    pub(crate) lazy_sweep_segments: AtomicU64,
     /// Chaos faults fired, per [`ChaosSite`] (indexed by `repr`).
     pub(crate) chaos_fired: [AtomicU64; ChaosSite::COUNT],
     pub(crate) history: Mutex<Vec<CycleStats>>,
@@ -180,6 +199,18 @@ impl GcStats {
         self.emergency_cycles.load(Ordering::Relaxed)
     }
 
+    /// TLAB refills performed by mutators. Always zero on the slab
+    /// layout (where the analogous event is a pool refill).
+    pub fn tlab_refills(&self) -> u64 {
+        self.tlab_refills.load(Ordering::Relaxed)
+    }
+
+    /// Segments lazily swept by allocating mutators and the collector's
+    /// start-of-cycle mop-up. Always zero on the slab layout.
+    pub fn lazy_sweep_segments(&self) -> u64 {
+        self.lazy_sweep_segments.load(Ordering::Relaxed)
+    }
+
     /// Chaos faults that actually fired at `site` — the assertion handle
     /// for fault-injection tests.
     pub fn chaos_fired(&self, site: ChaosSite) -> u64 {
@@ -214,6 +245,8 @@ impl GcStats {
             ("evictions".to_owned(), self.evictions()),
             ("cycle_timeouts".to_owned(), self.cycle_timeouts()),
             ("emergency_cycles".to_owned(), self.emergency_cycles()),
+            ("tlab_refills".to_owned(), self.tlab_refills()),
+            ("lazy_sweep_segments".to_owned(), self.lazy_sweep_segments()),
         ];
         for site in ChaosSite::ALL {
             let fired = self.chaos_fired(site);
@@ -303,6 +336,8 @@ mod tests {
             mark_ns: 200,
             sweep_ns: 100,
             chaos_ns: 50,
+            tlab_refills: 6,
+            lazy_swept_segments: 2,
         };
         let text = c.to_string();
         assert!(text.contains("freed     3"));
@@ -310,6 +345,8 @@ mod tests {
         let json = c.to_json();
         assert!(json.contains("\"freed\":3"));
         assert!(json.contains("\"chaos_ns\":50"));
+        assert!(json.contains("\"tlab_refills\":6"));
+        assert!(json.contains("\"lazy_swept_segments\":2"));
         // Braces balance; keys are quoted: crude but dependency-free shape
         // checks (the real parser lives in gc-trace's integration tests).
         assert!(json.starts_with('{') && json.ends_with('}'));

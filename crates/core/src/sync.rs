@@ -41,21 +41,41 @@ impl<T> Mutex<T> {
 /// rounds first (the uncontended handshake resolves within these), then
 /// sleeps doubling from 10µs up to a 1ms cap — so a watchdog-supervised
 /// wait burns neither a core nor its deadline granularity.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct Backoff {
     step: u32,
+    max_sleep_us: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            step: 0,
+            max_sleep_us: MAX_SLEEP_US,
+        }
+    }
 }
 
 /// `yield_now` rounds before the backoff starts sleeping.
 const SPIN_STEPS: u32 = 6;
 /// First sleep duration, doubling per step.
 const BASE_SLEEP_US: u64 = 10;
-/// Sleep cap.
+/// Default sleep cap.
 const MAX_SLEEP_US: u64 = 1_000;
 
 impl Backoff {
     pub(crate) fn new() -> Self {
         Backoff::default()
+    }
+
+    /// A backoff whose sleep is capped at `cap` instead of the default
+    /// 1ms (the emergency-allocation path takes this from
+    /// [`GcConfig::emergency_backoff`](crate::GcConfig::emergency_backoff)).
+    pub(crate) fn with_max_sleep(cap: Duration) -> Self {
+        Backoff {
+            step: 0,
+            max_sleep_us: (cap.as_micros() as u64).max(1),
+        }
     }
 
     /// Waits one step and escalates.
@@ -66,7 +86,7 @@ impl Backoff {
             let exp = (self.step - SPIN_STEPS).min(32);
             let us = BASE_SLEEP_US
                 .saturating_mul(1u64 << exp.min(20))
-                .min(MAX_SLEEP_US);
+                .min(self.max_sleep_us);
             std::thread::sleep(Duration::from_micros(us));
         }
         self.step = self.step.saturating_add(1);

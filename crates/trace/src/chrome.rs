@@ -240,6 +240,27 @@ fn export_track(dump: &TrackDump, out: &mut Vec<Json>) {
                 tid,
                 Json::obj().set("got", got),
             )),
+            EventKind::TlabRefill { got } => out.push(instant(
+                "tlab_refill",
+                "gc",
+                ts,
+                tid,
+                Json::obj().set("got", got),
+            )),
+            EventKind::SegmentClaimed { segment } => out.push(instant(
+                "segment_claimed",
+                "gc",
+                ts,
+                tid,
+                Json::obj().set("segment", segment),
+            )),
+            EventKind::LazySweepSegment { segment, freed } => out.push(instant(
+                "lazy_sweep_segment",
+                "gc",
+                ts,
+                tid,
+                Json::obj().set("segment", segment).set("freed", freed),
+            )),
             EventKind::ChaosFired { site } => out.push(instant(
                 "chaos_fired",
                 "chaos",
@@ -317,6 +338,11 @@ pub fn event_json(track: u32, track_name: &str, e: &Event) -> Json {
         EventKind::BarrierHit { deletion } => j.set("deletion", deletion),
         EventKind::AllocColor { slot, color } => j.set("slot", slot).set("color", color),
         EventKind::PoolRefill { got } => j.set("got", got),
+        EventKind::TlabRefill { got } => j.set("got", got),
+        EventKind::SegmentClaimed { segment } => j.set("segment", segment),
+        EventKind::LazySweepSegment { segment, freed } => {
+            j.set("segment", segment).set("freed", freed)
+        }
         EventKind::ChaosFired { site } => j.set("site", u64::from(site)),
         EventKind::LevelBegin { level, frontier } => {
             j.set("level", level).set("frontier", frontier)

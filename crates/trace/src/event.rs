@@ -89,6 +89,24 @@ pub enum EventKind {
         /// Slots obtained.
         got: u32,
     },
+    /// A mutator refilled its thread-local allocation buffer (segmented
+    /// heap layout).
+    TlabRefill {
+        /// Slots obtained.
+        got: u32,
+    },
+    /// A mutator claimed a fresh segment for bump allocation.
+    SegmentClaimed {
+        /// Segment index.
+        segment: u32,
+    },
+    /// A mutator (or the collector's mop-up) lazily swept a segment.
+    LazySweepSegment {
+        /// Segment index.
+        segment: u32,
+        /// Objects reclaimed from the segment.
+        freed: u32,
+    },
     /// A chaos fault fired at an injection site.
     ChaosFired {
         /// `ChaosSite` repr.
@@ -149,6 +167,9 @@ impl EventKind {
             EventKind::BarrierHit { .. } => "barrier_hit",
             EventKind::AllocColor { .. } => "alloc_color",
             EventKind::PoolRefill { .. } => "pool_refill",
+            EventKind::TlabRefill { .. } => "tlab_refill",
+            EventKind::SegmentClaimed { .. } => "segment_claimed",
+            EventKind::LazySweepSegment { .. } => "lazy_sweep_segment",
             EventKind::ChaosFired { .. } => "chaos_fired",
             EventKind::LevelBegin { .. } => "level_begin",
             EventKind::LevelEnd { .. } => "level_end",
@@ -199,6 +220,11 @@ impl Event {
             EventKind::SpanBegin { id } => (14, u64::from(id), 0),
             EventKind::SpanEnd { id } => (15, u64::from(id), 0),
             EventKind::Instant { id, value } => (16, u64::from(id), value),
+            EventKind::TlabRefill { got } => (17, u64::from(got), 0),
+            EventKind::SegmentClaimed { segment } => (18, u64::from(segment), 0),
+            EventKind::LazySweepSegment { segment, freed } => {
+                (19, u64::from(segment), u64::from(freed))
+            }
         };
         [self.ts_ns, code, a, b]
     }
@@ -247,6 +273,12 @@ impl Event {
                 id: a as u32,
                 value: b,
             },
+            17 => EventKind::TlabRefill { got: a as u32 },
+            18 => EventKind::SegmentClaimed { segment: a as u32 },
+            19 => EventKind::LazySweepSegment {
+                segment: a as u32,
+                freed: b as u32,
+            },
             _ => return None,
         };
         Some(Event { ts_ns, kind })
@@ -283,6 +315,12 @@ mod tests {
                 color: true,
             },
             EventKind::PoolRefill { got: 8 },
+            EventKind::TlabRefill { got: 32 },
+            EventKind::SegmentClaimed { segment: 17 },
+            EventKind::LazySweepSegment {
+                segment: 17,
+                freed: 61,
+            },
             EventKind::ChaosFired { site: 3 },
             EventKind::LevelBegin {
                 level: 9,

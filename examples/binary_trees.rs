@@ -6,10 +6,22 @@
 //! Run with: `cargo run --release --example binary_trees`
 
 use relaxing_safely::gc::collections::GcTree;
-use relaxing_safely::gc::{Collector, GcConfig};
+use relaxing_safely::gc::{Collector, GcConfig, HeapLayout};
 
 fn main() {
-    let collector = Collector::new(GcConfig::new(16_384, 2).with_alloc_pool(64));
+    // The segmented layout: the allocation firehose below runs on TLAB
+    // bump allocation, and dead trees are reclaimed segment-at-a-time by
+    // the allocating mutator (lazy sweep) rather than by the collector.
+    let collector = Collector::new(
+        GcConfig::builder()
+            .capacity(16_384)
+            .max_fields(2)
+            .layout(HeapLayout::Segmented {
+                segment_slots: 256,
+                tlab_slots: 64,
+            })
+            .build(),
+    );
     let mut m = collector.register_mutator();
 
     // A long-lived tree that must survive every cycle.

@@ -19,7 +19,7 @@ const MUTATORS: usize = 4;
 const OPS_PER_MUTATOR: usize = 20_000;
 
 fn main() {
-    let collector = Collector::new(GcConfig::new(8192, 2));
+    let collector = Collector::new(GcConfig::builder().capacity(8192).max_fields(2).build());
 
     // Mutator 0 builds the shared anchor: one field per mutator... we use
     // a small chain of 2-field anchors instead (field 0 = next anchor,

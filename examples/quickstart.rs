@@ -11,7 +11,7 @@ use relaxing_safely::gc::{Collector, GcConfig};
 
 fn main() {
     // A small heap: 256 slots, up to 2 reference fields per object.
-    let collector = Collector::new(GcConfig::new(256, 2));
+    let collector = Collector::new(GcConfig::builder().capacity(256).max_fields(2).build());
     let mut m = collector.register_mutator();
 
     // Build a list of 10 nodes: head -> n1 -> ... -> n9. Only `head`

@@ -30,7 +30,7 @@ use gc_model::{GcModel, ModelConfig};
 use gc_trace::chrome::{chrome_trace, jsonl, validate_chrome_trace};
 use gc_trace::{EventKind, Json, Registry, Tracer, TrackDump};
 use mc::{Checker, CheckerConfig, Strategy};
-use otf_gc::{Collector, GcConfig};
+use otf_gc::{Collector, GcConfig, HeapLayout};
 
 struct Args {
     out: PathBuf,
@@ -118,7 +118,17 @@ fn check_file(path: &Path) -> ExitCode {
 /// list (the stress/torture access pattern) while the collector runs
 /// on-the-fly, every thread writing to its own trace track.
 fn run_gc_workload(mutators: usize, ops: usize) -> (u64, usize) {
-    let collector = Collector::new(GcConfig::new(2048, 2));
+    // The segmented layout so the trace shows the full event vocabulary:
+    // TLAB refills, segment claims and lazy sweeps alongside the cycles.
+    let cfg = GcConfig::builder()
+        .capacity(2048)
+        .max_fields(2)
+        .layout(HeapLayout::Segmented {
+            segment_slots: 128,
+            tlab_slots: 32,
+        })
+        .build();
+    let collector = Collector::new(cfg);
     collector.start();
     let mut m0 = collector.register_mutator();
     let anchor = m0.alloc(2).expect("fresh heap has room");

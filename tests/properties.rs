@@ -263,7 +263,7 @@ fn random_programs_never_observe_dangling() {
         let mut rng = Rng::new(seed.wrapping_add(5 << 32));
         let len = 1 + rng.below(59);
         let ops: Vec<GcOp> = (0..len).map(|_| gen_gc_op(&mut rng)).collect();
-        let collector = Collector::new(GcConfig::new(128, 2));
+        let collector = Collector::new(GcConfig::builder().capacity(128).max_fields(2).build());
         let mut m = collector.register_mutator();
         let run_cycle = |m: &mut relaxing_safely::gc::Mutator| {
             let done = std::sync::atomic::AtomicBool::new(false);

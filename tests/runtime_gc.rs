@@ -5,7 +5,25 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
 
-use relaxing_safely::gc::{ChaosSite, Collector, CycleOutcome, FaultPlan, GcConfig, Mutator};
+use relaxing_safely::gc::{
+    ChaosSite, Collector, CycleOutcome, FaultPlan, GcConfig, HeapLayout, Mutator,
+};
+
+/// Builds the test configuration, honouring the `GC_TEST_LAYOUT`
+/// environment variable (`slab` when unset, `segmented` in the CI layout
+/// matrix) so this whole suite runs under both heap layouts without
+/// duplicating a single test.
+fn cfg(capacity: usize, max_fields: usize) -> GcConfig {
+    let layout = match std::env::var("GC_TEST_LAYOUT").as_deref() {
+        Ok("segmented") => HeapLayout::segmented_default(capacity),
+        _ => HeapLayout::Slab,
+    };
+    GcConfig::builder()
+        .capacity(capacity)
+        .max_fields(max_fields)
+        .layout(layout)
+        .build()
+}
 
 /// Run `f(mutator)` while the collector executes exactly `cycles` cycles.
 fn with_running_collector(
@@ -29,7 +47,7 @@ fn with_running_collector(
 #[test]
 fn garbage_is_collected_live_data_survives() {
     let (collector, mut m) = with_running_collector(
-        GcConfig::new(128, 2),
+        cfg(128, 2),
         |m| {
             // live: a -> b; garbage: c -> d (both discarded)
             let a = m.alloc(2).unwrap();
@@ -54,7 +72,7 @@ fn garbage_is_collected_live_data_survives() {
 #[test]
 fn cyclic_garbage_is_collected() {
     let (collector, _m) = with_running_collector(
-        GcConfig::new(64, 1),
+        cfg(64, 1),
         |m| {
             let a = m.alloc(1).unwrap();
             let b = m.alloc(1).unwrap();
@@ -71,7 +89,7 @@ fn cyclic_garbage_is_collected() {
 
 #[test]
 fn floating_garbage_reclaimed_within_two_cycles() {
-    let collector = Collector::new(GcConfig::new(64, 1));
+    let collector = Collector::new(cfg(64, 1));
     let mut m = collector.register_mutator();
     let a = m.alloc(1).unwrap();
     let b = m.alloc(1).unwrap();
@@ -94,7 +112,7 @@ fn floating_garbage_reclaimed_within_two_cycles() {
 
 #[test]
 fn heap_fills_and_recovers_after_collection() {
-    let collector = Collector::new(GcConfig::new(8, 0));
+    let collector = Collector::new(cfg(8, 0));
     let mut m = collector.register_mutator();
     let mut held = Vec::new();
     for _ in 0..8 {
@@ -124,7 +142,7 @@ fn heap_fills_and_recovers_after_collection() {
 fn many_mutators_churn_without_use_after_free() {
     const MUTS: usize = 4;
     const OPS: usize = 5_000;
-    let collector = Collector::new(GcConfig::new(2048, 2));
+    let collector = Collector::new(cfg(2048, 2));
     let mut m0 = collector.register_mutator();
     let anchor = m0.alloc(2).unwrap();
     collector.start();
@@ -173,14 +191,21 @@ fn many_mutators_churn_without_use_after_free() {
 
 #[test]
 fn mutators_can_come_and_go_mid_collection() {
-    let collector = Collector::new(GcConfig::new(256, 1));
+    let collector = Collector::new(cfg(256, 1));
     collector.start();
-    for _ in 0..10 {
+    // Keep registering/deregistering transient mutators until at least one
+    // cycle has completed around them — on a loaded single-core box a fixed
+    // iteration count can finish before the collector thread is ever
+    // scheduled, which is not the scenario under test.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while collector.stats().cycles() == 0 && std::time::Instant::now() < deadline {
         let mut m = collector.register_mutator();
-        let a = m.alloc(1).unwrap();
-        m.safepoint();
-        m.discard(a);
+        if let Ok(a) = m.alloc(1) {
+            m.safepoint();
+            m.discard(a);
+        }
         drop(m); // deregisters cleanly even if a handshake is pending
+        std::thread::yield_now();
     }
     collector.stop();
     // Everything those transient mutators made is garbage...
@@ -198,7 +223,7 @@ fn chaos_storms_leave_the_heap_coherent() {
         .with_handshake_delay(2_000)
         .with_cas_lost(2_000)
         .with_slow_transfer(2_000);
-    let collector = Collector::new(GcConfig::new(128, 2).with_chaos(plan));
+    let collector = Collector::new(cfg(128, 2).with_chaos(plan));
     let mut m = collector.register_mutator();
     let anchor = m.alloc(2).unwrap();
     collector.start();
@@ -236,10 +261,10 @@ fn mutator_silent_for_three_generations_never_hangs_collection() {
     // outcome — TimedOut aborts while the silence lasts (the mutator keeps
     // beating, so it is never evicted), Completed once it lifts.
     let plan = FaultPlan::new(7).with_silence(10_000, 3); // every generation re-silences
-    let cfg = GcConfig::new(32, 1)
+    let config = cfg(32, 1)
         .with_handshake_timeout(Duration::from_millis(30))
         .with_chaos(plan);
-    let collector = Collector::new(cfg);
+    let collector = Collector::new(config);
     let mut m = collector.register_mutator();
     let a = m.alloc(1).unwrap();
     let id = m.id();
@@ -291,7 +316,7 @@ fn mutator_silent_for_three_generations_never_hangs_collection() {
 
 #[test]
 fn stats_track_the_fast_path() {
-    let collector = Collector::new(GcConfig::new(512, 1));
+    let collector = Collector::new(cfg(512, 1));
     let mut m = collector.register_mutator();
     let a = m.alloc(1).unwrap();
     let b = m.alloc(1).unwrap();

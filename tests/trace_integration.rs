@@ -5,7 +5,7 @@
 
 use std::sync::Mutex;
 
-use relaxing_safely::gc::{Collector, GcConfig};
+use relaxing_safely::gc::{Collector, GcConfig, HeapLayout};
 use relaxing_safely::trace::chrome::{chrome_trace, jsonl, validate_chrome_trace};
 use relaxing_safely::trace::{EventKind, Json, Registry, Tracer};
 
@@ -15,8 +15,14 @@ static TRACER: Mutex<()> = Mutex::new(());
 
 /// Runs a small collector workload (one mutator churning a list) for at
 /// least `cycles` completed cycles.
-fn run_collector(cycles: u64) -> Collector {
-    let collector = Collector::new(GcConfig::new(256, 2));
+fn run_collector_with(cycles: u64, layout: HeapLayout) -> Collector {
+    let collector = Collector::new(
+        GcConfig::builder()
+            .capacity(256)
+            .max_fields(2)
+            .layout(layout)
+            .build(),
+    );
     let mut m = collector.register_mutator();
     let anchor = m.alloc(2).expect("fresh heap has room");
     collector.start();
@@ -41,6 +47,10 @@ fn run_collector(cycles: u64) -> Collector {
     drop(m);
     collector.stop();
     collector
+}
+
+fn run_collector(cycles: u64) -> Collector {
+    run_collector_with(cycles, HeapLayout::Slab)
 }
 
 #[test]
@@ -132,6 +142,44 @@ fn collector_events_export_as_nested_chrome_spans() {
     // And the run itself was a real collection workload.
     assert!(collector.stats().cycles() >= 3);
     assert!(collector.stats().freed() > 0);
+}
+
+#[test]
+fn segmented_layout_emits_the_allocation_event_vocabulary() {
+    let _guard = TRACER.lock().unwrap();
+    let _ = Tracer::global().drain();
+    relaxing_safely::trace::enable();
+    let collector = run_collector_with(
+        3,
+        HeapLayout::Segmented {
+            segment_slots: 32,
+            tlab_slots: 8,
+        },
+    );
+    relaxing_safely::trace::disable();
+    let dumps = Tracer::global().drain();
+    let kinds: Vec<&'static str> = dumps
+        .iter()
+        .flat_map(|d| d.events.iter().map(|e| e.kind.name()))
+        .collect();
+    for expected in ["tlab_refill", "segment_claimed", "lazy_sweep_segment"] {
+        assert!(
+            kinds.contains(&expected),
+            "segmented run must emit {expected}; got kinds {:?}",
+            {
+                let mut uniq = kinds.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                uniq
+            }
+        );
+    }
+    // The stats agree with the trace: refills and lazy sweeps happened.
+    assert!(collector.stats().tlab_refills() > 0);
+    assert!(collector.stats().lazy_sweep_segments() > 0);
+    // And the Chrome export still validates with the new instants.
+    let doc = chrome_trace(&dumps);
+    validate_chrome_trace(&doc).expect("segmented trace must validate");
 }
 
 #[test]
