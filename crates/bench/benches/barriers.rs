@@ -99,4 +99,5 @@ fn main() {
     bench_function("store/mark, target marked (fast path)", bench_store_marked);
     bench_function("store/mark, target unmarked (CAS)", bench_store_unmarked);
     bench_function("store/idle + validation oracle", bench_store_validated);
+    gc_bench::harness::write_session_record("barriers", &[]);
 }

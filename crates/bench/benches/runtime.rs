@@ -178,4 +178,5 @@ fn main() {
     bench_handshake_latency();
     bench_alloc_pooling();
     bench_trace_emit();
+    gc_bench::harness::write_session_record("runtime", &[]);
 }

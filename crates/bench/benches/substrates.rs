@@ -65,4 +65,5 @@ fn main() {
         "checker: 20k states, full suite, 4 threads",
         bench_checker_throughput(4),
     );
+    gc_bench::harness::write_session_record("substrates", &[]);
 }

@@ -6,11 +6,52 @@
 //! warm-up), good for the order-of-magnitude comparisons the experiment
 //! record needs; they are not a statistical benchmark suite.
 
+use std::cell::RefCell;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use gc_trace::Json;
+
 /// Target measurement window per benchmark.
 const WINDOW: Duration = Duration::from_millis(80);
+
+/// One calibrated measurement — the machine-readable record behind the
+/// row [`bench_function`] prints. Every measurement also lands in a
+/// thread-local session; [`write_session_record`] drains the session into
+/// a `BENCH_*.json` document so the `benches/` targets leave the same
+/// evidence trail as the experiment bins.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// The benchmark row's name.
+    pub name: String,
+    /// Iterations in the measured batch.
+    pub iters: u64,
+    /// Wall-clock time for the whole batch.
+    pub total: Duration,
+}
+
+impl Measurement {
+    /// Mean nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.total.as_nanos() as f64 / self.iters as f64
+    }
+
+    /// The measurement as a flat JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("name", self.name.as_str())
+            .set("iters", self.iters)
+            .set("total_ns", self.total.as_nanos() as u64)
+            .set("ns_per_iter", self.ns_per_iter())
+    }
+}
+
+thread_local! {
+    /// Measurements taken on this thread since the last
+    /// [`write_session_record`] — benches are single-threaded drivers, so
+    /// thread-local is exactly session-local.
+    static SESSION: RefCell<Vec<Measurement>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Collects one calibrated measurement inside [`bench_function`].
 pub struct Bencher {
@@ -62,8 +103,9 @@ impl Bencher {
     }
 }
 
-/// Runs one benchmark and prints `name ... ns/iter`.
-pub fn bench_function(name: &str, mut f: impl FnMut(&mut Bencher)) {
+/// Runs one benchmark, prints `name ... ns/iter`, and returns (and
+/// session-records) the [`Measurement`].
+pub fn bench_function(name: &str, mut f: impl FnMut(&mut Bencher)) -> Measurement {
     let mut b = Bencher { measured: None };
     f(&mut b);
     let (n, elapsed) = b.measured.expect("the bench closure must call iter");
@@ -74,5 +116,36 @@ pub fn bench_function(name: &str, mut f: impl FnMut(&mut Bencher)) {
         println!("{name:<48} {:>14.3} µs/iter ({n} iters)", per / 1e3);
     } else {
         println!("{name:<48} {:>14.1} ns/iter ({n} iters)", per);
+    }
+    let m = Measurement {
+        name: name.to_string(),
+        iters: n,
+        total: elapsed,
+    };
+    SESSION.with(|s| s.borrow_mut().push(m.clone()));
+    m
+}
+
+/// Drains every measurement this thread's [`bench_function`] calls have
+/// recorded into a `gc-bench/v1` record and writes it to
+/// `experiments_output/BENCH_<bench>.json` (via
+/// [`crate::write_bench_record`]). Failures are warnings, not errors —
+/// the table already printed.
+pub fn write_session_record(bench: &str, params: &[(&str, Json)]) {
+    let measurements: Vec<Json> = SESSION.with(|s| {
+        s.borrow_mut()
+            .drain(..)
+            .map(|m| m.to_json())
+            .collect::<Vec<Json>>()
+    });
+    let record = gc_trace::bench_record(
+        bench,
+        params,
+        &[("measurements", Json::from(measurements))],
+        None,
+    );
+    match crate::write_bench_record(bench, &record) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_{bench}.json: {e}"),
     }
 }

@@ -45,7 +45,14 @@
 //! * [`ChaosSite::LazySweep`] — yield storms right after a mutator
 //!   lazily swept a segment (stretching the window in which freshly
 //!   reclaimed slots, the free-segment stack, and the sweep generation are
-//!   observed by other threads).
+//!   observed by other threads);
+//! * [`ChaosSite::WorkerPanic`] — an *application* worker thread panics at
+//!   a request boundary (the serve harness's site: the worker's
+//!   [`Mutator`](crate::Mutator) unwinds through its panicking-drop
+//!   salvage path and a supervisor must recover without losing sessions).
+//!   The runtime only supplies the deterministic draw
+//!   ([`Collector::chaos_fires`](crate::Collector::chaos_fires)); the
+//!   panic itself is the harness's job.
 //!
 //! [`MarkOutcome::Lost`]: crate::heap::MarkOutcome
 //! [`Collector::stop`]: crate::Collector::stop
@@ -77,11 +84,14 @@ pub enum ChaosSite {
     TlabRefill = 7,
     /// Yield storm after a mutator-driven lazy segment sweep.
     LazySweep = 8,
+    /// Application worker panics at a request boundary (drawn by the serve
+    /// harness through [`Collector::chaos_fires`](crate::Collector::chaos_fires)).
+    WorkerPanic = 9,
 }
 
 impl ChaosSite {
     /// Number of injection sites.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// Every site, in `repr` order.
     pub const ALL: [ChaosSite; ChaosSite::COUNT] = [
@@ -94,6 +104,7 @@ impl ChaosSite {
         ChaosSite::MarkDelay,
         ChaosSite::TlabRefill,
         ChaosSite::LazySweep,
+        ChaosSite::WorkerPanic,
     ];
 
     /// A short stable name for reports.
@@ -108,6 +119,7 @@ impl ChaosSite {
             ChaosSite::MarkDelay => "mark_delay",
             ChaosSite::TlabRefill => "tlab_refill",
             ChaosSite::LazySweep => "lazy_sweep",
+            ChaosSite::WorkerPanic => "worker_panic",
         }
     }
 }
@@ -151,6 +163,8 @@ pub struct FaultPlan {
     pub tlab_refill: u32,
     /// Rate of yield storms after a mutator-driven lazy segment sweep.
     pub lazy_sweep: u32,
+    /// Rate of injected worker panics at a request boundary (serve harness).
+    pub worker_panic: u32,
 }
 
 impl Default for FaultPlan {
@@ -175,6 +189,7 @@ impl FaultPlan {
             mark_delay: 0,
             tlab_refill: 0,
             lazy_sweep: 0,
+            worker_panic: 0,
         }
     }
 
@@ -216,6 +231,9 @@ impl FaultPlan {
             // allocations, so these rates land high enough to matter.
             tlab_refill: r(8, 100, 1_500),
             lazy_sweep: r(9, 100, 1_500),
+            // Per request: like mutator panics, rare enough that a run's
+            // workers spend most of their time alive.
+            worker_panic: r(10, 0, 3),
         }
     }
 
@@ -283,6 +301,13 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the request-boundary worker-panic rate.
+    #[must_use]
+    pub fn with_worker_panic(mut self, rate: u32) -> Self {
+        self.worker_panic = rate;
+        self
+    }
+
     /// Whether any injection is armed. The single-branch guard every hot
     /// path checks first.
     #[inline]
@@ -306,6 +331,7 @@ impl FaultPlan {
             ChaosSite::MarkDelay => self.mark_delay,
             ChaosSite::TlabRefill => self.tlab_refill,
             ChaosSite::LazySweep => self.lazy_sweep,
+            ChaosSite::WorkerPanic => self.worker_panic,
         }
     }
 
@@ -313,7 +339,7 @@ impl FaultPlan {
     /// `splitmix64(seed ⊕ salt(site) ⊕ n) mod RATE_SCALE < rate`.
     #[inline]
     pub(crate) fn fires(&self, site: ChaosSite, state: &ChaosState) -> bool {
-        if !self.enabled {
+        if !self.enabled || state.suppressed.load(Ordering::Relaxed) {
             return false;
         }
         let rate = self.rate(site);
@@ -327,12 +353,15 @@ impl FaultPlan {
 }
 
 /// Per-collector chaos runtime state: the draw counters behind each site's
-/// deterministic decision stream, and the once-only latch for the
-/// collector-panic site.
+/// deterministic decision stream, the once-only latch for the
+/// collector-panic site, and the runtime suppression switch
+/// ([`Collector::suppress_chaos`](crate::Collector::suppress_chaos)) that
+/// lets a harness bound a chaos storm to a window of the run.
 #[derive(Debug, Default)]
 pub(crate) struct ChaosState {
     draws: [AtomicU64; ChaosSite::COUNT],
     pub(crate) collector_panicked: AtomicBool,
+    pub(crate) suppressed: AtomicBool,
 }
 
 /// How long an injected delay storm spins, in `yield_now` calls.
@@ -408,8 +437,28 @@ mod tests {
             assert!(p.mark_delay < RATE_SCALE);
             assert!(p.tlab_refill < RATE_SCALE);
             assert!(p.lazy_sweep < RATE_SCALE);
+            assert!(p.worker_panic < RATE_SCALE);
             assert!((1..=4).contains(&p.silence_generations));
             assert_eq!(FaultPlan::from_seed(seed), p, "derivation is pure");
         }
+    }
+
+    #[test]
+    fn suppression_silences_fires_without_consuming_draws() {
+        let plan = FaultPlan::new(11).with_worker_panic(RATE_SCALE);
+        let state = ChaosState::default();
+        assert!(plan.fires(ChaosSite::WorkerPanic, &state));
+        state.suppressed.store(true, Ordering::Relaxed);
+        let before = state.draws[ChaosSite::WorkerPanic as usize].load(Ordering::Relaxed);
+        for _ in 0..32 {
+            assert!(!plan.fires(ChaosSite::WorkerPanic, &state));
+        }
+        assert_eq!(
+            state.draws[ChaosSite::WorkerPanic as usize].load(Ordering::Relaxed),
+            before,
+            "suppressed draws must not advance the deterministic stream"
+        );
+        state.suppressed.store(false, Ordering::Relaxed);
+        assert!(plan.fires(ChaosSite::WorkerPanic, &state));
     }
 }

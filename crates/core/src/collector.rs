@@ -388,10 +388,11 @@ impl Shared {
         // black in the current sense.
         hs_or_abort!(HsTy::Noop);
 
-        // Per-cycle TLAB/lazy-sweep activity is reported as deltas of the
-        // global counters between here and cycle end.
+        // Per-cycle TLAB/lazy-sweep/backoff activity is reported as deltas
+        // of the global counters between here and cycle end.
         let tlab_refills_before = sh.stats.tlab_refills.load(Ordering::Relaxed);
         let lazy_swept_before = sh.stats.lazy_sweep_segments.load(Ordering::Relaxed);
+        let backoff_before = sh.stats.backoff_ns.load(Ordering::Relaxed);
 
         // Segmented layout: mop up every segment still carrying the
         // previous cycle's garbage verdict. This MUST precede both the
@@ -506,6 +507,7 @@ impl Shared {
             (sh.stats.tlab_refills.load(Ordering::Relaxed) - tlab_refills_before) as usize;
         cycle.lazy_swept_segments =
             (sh.stats.lazy_sweep_segments.load(Ordering::Relaxed) - lazy_swept_before) as usize;
+        cycle.backoff_ns = sh.stats.backoff_ns.load(Ordering::Relaxed) - backoff_before;
         cycle.live_after = sh.heap.live();
         cycle.duration_ns = t0.elapsed().as_nanos() as u64;
         debug_assert!(
@@ -668,8 +670,19 @@ impl Collector {
         self.shared.run_cycle(&mut || {})
     }
 
-    /// Spawns a background thread running collection cycles continuously
-    /// until [`Collector::stop`].
+    /// Spawns a background thread running collection cycles until
+    /// [`Collector::stop`].
+    ///
+    /// Without [`GcConfig::pacing_high`](crate::GcConfig::pacing_high) the
+    /// worker runs cycles back-to-back (the legacy behaviour). With it, the
+    /// worker *paces* itself off the occupancy signal: it idles (polling
+    /// every [`pacing_poll`](crate::GcConfig::pacing_poll)) while occupancy
+    /// is below the high watermark, then cycles until occupancy drops below
+    /// the low watermark — and when consecutive cycles fail to get back
+    /// under the high watermark (the live set simply doesn't fit), it backs
+    /// off exponentially up to
+    /// [`pacing_backoff`](crate::GcConfig::pacing_backoff) instead of
+    /// hammering the mutators with back-to-back handshake storms.
     ///
     /// # Panics
     ///
@@ -682,14 +695,88 @@ impl Collector {
         *worker = Some(
             std::thread::Builder::new()
                 .name("otf-gc".into())
-                .spawn(move || {
-                    while !shared.stop.load(Ordering::Acquire) {
-                        let _ = shared.run_cycle(&mut || {});
-                        std::thread::yield_now();
+                .spawn(move || match shared.cfg.pacing_high {
+                    None => {
+                        while !shared.stop.load(Ordering::Acquire) {
+                            let _ = shared.run_cycle(&mut || {});
+                            std::thread::yield_now();
+                        }
+                    }
+                    Some(high_pm) => {
+                        let high = high_pm as f64 / 1000.0;
+                        let low = shared.cfg.pacing_low as f64 / 1000.0;
+                        let poll = shared.cfg.pacing_poll;
+                        let mut backoff = Backoff::with_max_sleep(shared.cfg.pacing_backoff);
+                        while !shared.stop.load(Ordering::Acquire) {
+                            let occ = shared.heap.occupancy();
+                            trace_event!(Counter {
+                                id: 0,
+                                value: (occ * 1000.0) as u64
+                            });
+                            if occ < high {
+                                backoff.reset();
+                                std::thread::sleep(poll);
+                                continue;
+                            }
+                            // Triggered: cycle down to the hysteresis floor.
+                            while !shared.stop.load(Ordering::Acquire) {
+                                let _ = shared.run_cycle(&mut || {});
+                                let now = shared.heap.occupancy();
+                                trace_event!(Counter {
+                                    id: 0,
+                                    value: (now * 1000.0) as u64
+                                });
+                                if now < low {
+                                    backoff.reset();
+                                    break;
+                                }
+                                if now >= high {
+                                    // Non-productive cycle: the survivors
+                                    // alone keep us over the watermark.
+                                    // Bounded exponential backoff before
+                                    // trying again.
+                                    backoff.wait();
+                                } else {
+                                    backoff.reset();
+                                }
+                            }
+                        }
                     }
                 })
                 .expect("spawn collector thread"),
         );
+    }
+
+    /// Fraction of the heap currently unavailable for allocation, in
+    /// `0.0..=1.0`. This is the signal the paced background collector and
+    /// any admission-control layer (e.g. `gc-serve`'s shed-by-occupancy
+    /// policy) key off. On the slab layout this is O(1); on the segmented
+    /// layout it is a popcount pass over the side bitmaps, where condemned
+    /// slots whose sweep verdict is published but not yet lazily reclaimed
+    /// count as *available* (they are one TLAB refill away from allocable,
+    /// and counting them occupied would leave the signal stuck high right
+    /// after every cycle).
+    pub fn heap_occupancy(&self) -> f64 {
+        self.shared.heap.occupancy()
+    }
+
+    /// Draws the next decision of `site`'s deterministic chaos stream,
+    /// counting fires in [`GcStats::chaos_fired`](crate::GcStats). This is
+    /// the hook for harness-level fault sites — e.g.
+    /// [`ChaosSite::WorkerPanic`] is drawn per request by an application
+    /// harness, not by the collector — so their draws share the plan's
+    /// seeded streams and show up in the same chaos accounting. Free (a
+    /// single branch) when no [`FaultPlan`](crate::FaultPlan) is installed.
+    pub fn chaos_fires(&self, site: ChaosSite) -> bool {
+        self.shared.chaos_fires(site)
+    }
+
+    /// Gates every chaos stream off (`true`) or back on (`false`) without
+    /// consuming draws, so a harness can bound a fault storm to a window
+    /// and then measure recovery — e.g. post-storm tail latency — against
+    /// the *same* deterministic streams it would have seen uninterrupted.
+    pub fn suppress_chaos(&self, on: bool) {
+        self.shared.chaos.suppressed.store(on, Ordering::Release);
     }
 
     /// Internal access for the white-box debug hooks.
@@ -804,6 +891,34 @@ mod tests {
         c.stop();
         // The rooted object survived every cycle.
         let _ = m.load(a, 0);
+    }
+
+    #[test]
+    fn paced_collector_idles_until_watermark() {
+        let cfg = GcConfig::builder()
+            .capacity(8)
+            .max_fields(1)
+            .occupancy_pacing(500, 250)
+            .pacing_poll(Duration::from_micros(50))
+            .build();
+        let c = Collector::new(cfg);
+        let mut m = c.register_mutator();
+        c.start();
+        // Empty heap: the paced worker polls but never cycles.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(c.stats().cycles(), 0, "paced collector cycled while idle");
+        // Fill past the 50% watermark with garbage; the pacer must trigger
+        // and drain back below the hysteresis floor.
+        for _ in 0..6 {
+            let g = m.alloc(1).unwrap();
+            m.discard(g);
+        }
+        while c.stats().cycles() == 0 {
+            m.safepoint();
+            std::thread::yield_now();
+        }
+        c.stop();
+        assert!(c.heap_occupancy() < 0.5, "trigger drained the garbage");
     }
 
     #[test]

@@ -104,6 +104,13 @@ pub enum ConfigError {
         /// The offending TLAB size.
         tlab_slots: usize,
     },
+    /// Occupancy-pacing watermarks are out of range or inverted.
+    Pacing {
+        /// The offending high watermark (per-mille).
+        high: u32,
+        /// The offending low watermark (per-mille).
+        low: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -122,6 +129,11 @@ impl fmt::Display for ConfigError {
                 "segmented geometry invalid: capacity {capacity} must be a positive \
                  multiple of segment_slots {segment_slots}, and tlab_slots {tlab_slots} \
                  must be in 1..=segment_slots"
+            ),
+            ConfigError::Pacing { high, low } => write!(
+                f,
+                "pacing watermarks invalid: high {high}‰ must be in 1..=1000 \
+                 and low {low}‰ must be strictly below high"
             ),
         }
     }
@@ -191,6 +203,28 @@ pub struct GcConfig {
     /// waits on an in-flight cycle (see
     /// [`GcConfigBuilder::emergency_backoff`]).
     pub emergency_backoff: Duration,
+    /// Adaptive pacing: heap-occupancy high watermark in per-mille
+    /// (`850` = 85%). When set, the background collector thread started
+    /// by [`Collector::start`](crate::Collector::start) runs cycles only
+    /// while occupancy is at or above this watermark (with hysteresis
+    /// down to [`pacing_low`](GcConfig::pacing_low)), idling between
+    /// polls otherwise. `None` (the default) keeps the legacy behaviour:
+    /// back-to-back cycles whenever the collector is started. Set via
+    /// [`GcConfigBuilder::occupancy_pacing`].
+    pub pacing_high: Option<u32>,
+    /// Adaptive pacing: hysteresis floor in per-mille. Once triggered,
+    /// the collector keeps cycling until occupancy drops below this (or
+    /// progress stalls, at which point the bounded pacing backoff takes
+    /// over). Only meaningful with [`pacing_high`](GcConfig::pacing_high).
+    pub pacing_low: u32,
+    /// Cap on the exponential backoff between consecutive paced cycles
+    /// that fail to move occupancy below the high watermark — the live
+    /// set simply doesn't fit below it, and re-running cycles
+    /// back-to-back would degenerate into a stop-the-mutators storm.
+    pub pacing_backoff: Duration,
+    /// How often the paced collector polls occupancy while below the
+    /// trigger watermark.
+    pub pacing_poll: Duration,
     /// Deterministic fault injection (see [`FaultPlan`]). The default
     /// [`FaultPlan::none`] is zero-cost on the hot paths.
     pub chaos: FaultPlan,
@@ -235,6 +269,10 @@ impl GcConfig {
             evict_dead: true,
             alloc_retries: 2,
             emergency_backoff: Duration::from_millis(1),
+            pacing_high: None,
+            pacing_low: 500,
+            pacing_backoff: Duration::from_millis(5),
+            pacing_poll: Duration::from_micros(200),
             chaos: FaultPlan::none(),
         }
     }
@@ -261,6 +299,14 @@ impl GcConfig {
                     capacity: self.capacity,
                     segment_slots,
                     tlab_slots,
+                });
+            }
+        }
+        if let Some(high) = self.pacing_high {
+            if !(1..=1000).contains(&high) || self.pacing_low >= high {
+                return Err(ConfigError::Pacing {
+                    high,
+                    low: self.pacing_low,
                 });
             }
         }
@@ -422,6 +468,42 @@ impl GcConfigBuilder {
         self
     }
 
+    /// Enables occupancy-triggered pacing of the background collector:
+    /// cycles start when heap occupancy reaches `high` per-mille and keep
+    /// running until it drops below `low` per-mille (hysteresis). Requires
+    /// `1 <= high <= 1000` and `low < high`, checked at
+    /// [`build`](GcConfigBuilder::build).
+    #[must_use]
+    pub fn occupancy_pacing(mut self, high: u32, low: u32) -> Self {
+        self.cfg.pacing_high = Some(high);
+        self.cfg.pacing_low = low;
+        self
+    }
+
+    /// Restores the legacy unpaced background collector: back-to-back
+    /// cycles whenever it is started (the default).
+    #[must_use]
+    pub fn no_occupancy_pacing(mut self) -> Self {
+        self.cfg.pacing_high = None;
+        self
+    }
+
+    /// Caps the exponential backoff between consecutive paced cycles that
+    /// fail to bring occupancy below the high watermark.
+    #[must_use]
+    pub fn pacing_backoff(mut self, cap: Duration) -> Self {
+        self.cfg.pacing_backoff = cap;
+        self
+    }
+
+    /// Sets the occupancy poll interval for the paced collector while it
+    /// idles below the trigger watermark.
+    #[must_use]
+    pub fn pacing_poll(mut self, interval: Duration) -> Self {
+        self.cfg.pacing_poll = interval;
+        self
+    }
+
     /// Installs a fault-injection plan.
     #[must_use]
     pub fn chaos(mut self, plan: FaultPlan) -> Self {
@@ -488,6 +570,9 @@ mod tests {
             .evict_dead(false)
             .emergency_retries(5)
             .emergency_backoff(Duration::from_micros(200))
+            .occupancy_pacing(900, 600)
+            .pacing_backoff(Duration::from_millis(7))
+            .pacing_poll(Duration::from_micros(50))
             .chaos(plan.clone())
             .build();
         assert_eq!(c.capacity, 512);
@@ -505,7 +590,46 @@ mod tests {
         assert_eq!(c.handshake_timeout, Some(Duration::from_millis(9)));
         assert_eq!(c.alloc_retries, 5);
         assert_eq!(c.emergency_backoff, Duration::from_micros(200));
+        assert_eq!(c.pacing_high, Some(900));
+        assert_eq!(c.pacing_low, 600);
+        assert_eq!(c.pacing_backoff, Duration::from_millis(7));
+        assert_eq!(c.pacing_poll, Duration::from_micros(50));
         assert_eq!(c.chaos, plan);
+        let c = GcConfig::builder()
+            .occupancy_pacing(900, 600)
+            .no_occupancy_pacing()
+            .build();
+        assert_eq!(c.pacing_high, None);
+    }
+
+    #[test]
+    fn builder_rejects_bad_pacing_watermarks() {
+        // high out of range
+        assert!(matches!(
+            GcConfig::builder().occupancy_pacing(1001, 500).try_build(),
+            Err(ConfigError::Pacing {
+                high: 1001,
+                low: 500
+            })
+        ));
+        assert!(GcConfig::builder()
+            .occupancy_pacing(0, 0)
+            .try_build()
+            .is_err());
+        // low not strictly below high
+        assert!(GcConfig::builder()
+            .occupancy_pacing(800, 800)
+            .try_build()
+            .is_err());
+        assert!(GcConfig::builder()
+            .occupancy_pacing(800, 900)
+            .try_build()
+            .is_err());
+        // valid edge: low 0 means "drain as far as possible"
+        assert!(GcConfig::builder()
+            .occupancy_pacing(1000, 0)
+            .try_build()
+            .is_ok());
     }
 
     #[test]

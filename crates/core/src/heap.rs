@@ -785,6 +785,48 @@ impl Heap {
         }
     }
 
+    /// Fraction of the heap's slots unavailable for allocation, in
+    /// `[0.0, 1.0]` — the admission-control and pacing signal.
+    ///
+    /// "Unavailable" means not claimable by an allocator right now or
+    /// after applying the already-published sweep verdict: live objects
+    /// and pool/TLAB-reserved slots count; condemned-but-not-yet-lazily-
+    /// swept garbage does *not* (it is one `refill_tlab` away from being
+    /// claimable, and counting it would make the pacer chase occupancy
+    /// that a cycle already resolved). Slab: O(1) from the free-list
+    /// length. Segmented: one O(capacity / 64) popcount pass.
+    pub(crate) fn occupancy(&self) -> f64 {
+        let cap = self.capacity();
+        if cap == 0 {
+            return 1.0;
+        }
+        let available = match &self.layout {
+            LayoutData::Slab { free } => free.lock().len(),
+            LayoutData::Segmented(sp) => {
+                let gen = sp.sweep_gen.load(Ordering::Acquire);
+                let sense = sp.sweep_sense.load(Ordering::Acquire);
+                let mut n = 0usize;
+                for seg in sp.segments.iter() {
+                    let pending = seg.swept_gen.load(Ordering::Acquire) != gen;
+                    for w in 0..sp.words() {
+                        let busy_w = seg.busy[w].load(Ordering::Acquire);
+                        let mut avail = !busy_w & sp.word_mask(w);
+                        if pending {
+                            // Condemned by the published verdict: counts
+                            // as available even though still busy.
+                            let live_w = seg.live[w].load(Ordering::Acquire);
+                            let marks_w = seg.marks[w].load(Ordering::Acquire);
+                            avail |= live_w & if sense { !marks_w } else { marks_w };
+                        }
+                        n += avail.count_ones() as usize;
+                    }
+                }
+                n
+            }
+        };
+        1.0 - available as f64 / cap as f64
+    }
+
     /// A snapshot of the global free list (integrity checking only — races
     /// with concurrent allocation, so callers must quiesce first). Empty
     /// on the segmented layout, whose free state lives in the bitmaps
@@ -1423,6 +1465,33 @@ mod tests {
         assert_eq!(h.complete_pending_sweeps().1, 0);
         assert_eq!(h.live(), 1);
         h.debug_verify().unwrap();
+    }
+
+    #[test]
+    fn occupancy_tracks_allocation_both_layouts() {
+        let h = heap(); // slab, capacity 4
+        assert_eq!(h.occupancy(), 0.0);
+        let a = h.alloc(0, false).unwrap();
+        let _b = h.alloc(0, false).unwrap();
+        assert!((h.occupancy() - 0.5).abs() < 1e-9);
+        h.free_slot(a.index());
+        assert!((h.occupancy() - 0.25).abs() < 1e-9);
+        // Pool-reserved slots count as occupied: they are unavailable.
+        let pool = h.grab_pool(2);
+        assert!((h.occupancy() - 0.75).abs() < 1e-9);
+        h.return_pool(pool);
+
+        let s = seg_heap(16, 8);
+        assert_eq!(s.occupancy(), 0.0);
+        let objs: Vec<Gc> = (0..8).map(|_| s.alloc(0, false).unwrap()).collect();
+        assert!((s.occupancy() - 0.5).abs() < 1e-9);
+        // A published verdict condemning everything drops occupancy to 0
+        // even before any lazy sweep runs: the slots are reclaimable.
+        let _ = objs;
+        assert_eq!(s.publish_sweep(true), 8);
+        assert_eq!(s.occupancy(), 0.0);
+        s.complete_pending_sweeps();
+        assert_eq!(s.occupancy(), 0.0);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use std::collections::HashSet;
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::chaos::{ChaosSite, STORM_YIELDS};
 use crate::collector::{MutId, MutatorShared, Shared};
@@ -190,7 +191,45 @@ impl Mutator {
     pub fn alloc(&mut self, fields: usize) -> Result<Gc, AllocError> {
         match self.try_alloc(fields) {
             Err(AllocError::HeapFull) if self.shared.cfg.alloc_retries > 0 => {
-                self.alloc_emergency(fields)
+                self.alloc_emergency(fields, None)
+            }
+            other => other,
+        }
+    }
+
+    /// Like [`Mutator::alloc`], but bounds the emergency-collection wait by
+    /// a deadline: when the heap is still full at `deadline`, the call
+    /// returns [`AllocError::HeapFull`] — *retryable*, because a later call
+    /// may find memory a cycle has since reclaimed — instead of parking
+    /// until the retry budget resolves. This is the allocation primitive
+    /// for request-serving code where a stalled allocation must become a
+    /// request timeout, never an unbounded stall (e.g. another mutator
+    /// holding the cycle lock while silenced by chaos would otherwise stall
+    /// this thread indefinitely: its `cycles_tried` budget only advances
+    /// when cycles actually complete).
+    ///
+    /// The overshoot past `deadline` is bounded by one park of at most
+    /// [`emergency_backoff`](crate::GcConfig::emergency_backoff).
+    ///
+    /// # Errors
+    ///
+    /// As [`Mutator::alloc`], plus [`AllocError::HeapFull`] on deadline
+    /// expiry. [`AllocError::Exhausted`] still wins when the retry budget
+    /// resolves first *and* no other thread allocated while it was spent —
+    /// a heap that survived full collections at its configured budget with
+    /// the whole system wedged is exhausted, however much time remains.
+    /// When peers did allocate, the heap is churning and this thread is
+    /// merely losing the race for freed slots, so the budget resets and
+    /// the deadline stays the bound (starvation must not masquerade as
+    /// exhaustion).
+    pub fn try_alloc_with_deadline(
+        &mut self,
+        fields: usize,
+        deadline: Instant,
+    ) -> Result<Gc, AllocError> {
+        match self.try_alloc(fields) {
+            Err(AllocError::HeapFull) if self.shared.cfg.alloc_retries > 0 => {
+                self.alloc_emergency(fields, Some(deadline))
             }
             other => other,
         }
@@ -287,13 +326,24 @@ impl Mutator {
     /// is almost certainly waiting for *our* handshake acknowledgement, so
     /// blocking on the cycle lock would deadlock. Instead we `try_lock`
     /// (via [`Shared::try_run_cycle`]) and, when beaten to it, help the
-    /// in-flight cycle by answering handshakes under backoff.
-    fn alloc_emergency(&mut self, fields: usize) -> Result<Gc, AllocError> {
+    /// in-flight cycle by answering handshakes under backoff. Time parked
+    /// in that backoff is accounted to
+    /// [`GcStats::backoff_ns`](crate::GcStats::backoff_ns).
+    ///
+    /// With a `deadline`, expiry short-circuits the loop with the
+    /// retryable [`AllocError::HeapFull`] (see
+    /// [`Mutator::try_alloc_with_deadline`]).
+    fn alloc_emergency(
+        &mut self,
+        fields: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Gc, AllocError> {
         let retries = self.shared.cfg.alloc_retries;
         let mut cycles_tried = 0usize;
         // Cycles completed by anyone count against the budget: a full heap
         // that survives a whole collection is genuinely exhausted.
         let mut observed = self.shared.stats.cycles();
+        let mut allocated_seen = self.shared.stats.allocated.load(Ordering::Relaxed);
         let mut backoff = Backoff::with_max_sleep(self.shared.cfg.emergency_backoff);
         loop {
             match self.try_alloc(fields) {
@@ -302,15 +352,36 @@ impl Mutator {
             }
             let now = self.shared.stats.cycles();
             if now != observed {
-                cycles_tried += (now - observed) as usize;
+                // One failed attempt validates at most one completed cycle:
+                // a paced collector cycling back-to-back between our
+                // attempts must not burn the budget faster than we can
+                // actually race for the slots those cycles freed.
+                cycles_tried += 1;
                 observed = now;
             }
             if cycles_tried >= retries {
-                return Err(AllocError::Exhausted {
-                    live: self.shared.heap.live(),
-                    capacity: self.shared.heap.capacity(),
-                    cycles_tried,
-                });
+                let progressed = self.shared.stats.allocated.load(Ordering::Relaxed);
+                if deadline.is_some() && progressed != allocated_seen {
+                    // Someone allocated while we spent the budget: the heap
+                    // is churning, not exhausted — we are losing the race
+                    // for freed slots. With a deadline bounding the total
+                    // wait, starvation resets the budget; a spurious fatal
+                    // verdict on a transiently brim-full heap would report
+                    // a healthy service as broken.
+                    allocated_seen = progressed;
+                    cycles_tried = 0;
+                } else {
+                    return Err(AllocError::Exhausted {
+                        live: self.shared.heap.live(),
+                        capacity: self.shared.heap.capacity(),
+                        cycles_tried,
+                    });
+                }
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(AllocError::HeapFull);
+                }
             }
             let shared = Arc::clone(&self.shared);
             match shared.try_run_cycle(&mut || self.safepoint()) {
@@ -327,9 +398,17 @@ impl Mutator {
                     backoff.reset();
                 }
                 None => {
-                    // A cycle is in flight, likely waiting on us: help.
+                    // A cycle is in flight, likely waiting on us: help,
+                    // then park. The park is concurrent with the cycle's
+                    // own wall clock, so it is accounted separately
+                    // (`backoff_ns`) rather than into any phase timing.
                     self.safepoint();
+                    let t_park = Instant::now();
                     backoff.wait();
+                    self.shared
+                        .stats
+                        .backoff_ns
+                        .fetch_add(t_park.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 }
             }
         }
@@ -757,6 +836,67 @@ mod tests {
             other => panic!("expected Exhausted, got {other:?}"),
         }
         assert_eq!(c.stats().emergency_cycles(), 2);
+    }
+
+    #[test]
+    fn alloc_error_retryable_truth_table() {
+        // `HeapFull` is the only transient verdict: a later cycle can
+        // reclaim garbage. `Exhausted` (the heap survived full collections)
+        // and `TooManyFields` (a caller bug) never heal by retrying.
+        assert!(AllocError::HeapFull.is_retryable());
+        assert!(!AllocError::Exhausted {
+            live: 4,
+            capacity: 4,
+            cycles_tried: 2
+        }
+        .is_retryable());
+        assert!(!AllocError::TooManyFields {
+            requested: 9,
+            max: 2
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn deadline_alloc_succeeds_when_a_cycle_reclaims_garbage() {
+        let c = Collector::new(GcConfig::new(4, 1));
+        let mut m = c.register_mutator();
+        for _ in 0..4 {
+            let g = m.alloc(1).unwrap();
+            m.discard(g);
+        }
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        let g = m
+            .try_alloc_with_deadline(1, deadline)
+            .expect("emergency cycle within the deadline");
+        assert!(m.is_rooted(g));
+    }
+
+    #[test]
+    fn deadline_alloc_times_out_retryable_instead_of_stalling() {
+        // Hold the cycle lock for the whole test: no emergency cycle can
+        // ever run, which is exactly the unbounded-stall scenario the
+        // deadline bounds. Without the deadline, `alloc` would park here
+        // forever (the retry budget only advances on completed cycles).
+        let c = Collector::new(GcConfig::new(4, 1).with_alloc_retries(100));
+        let mut m = c.register_mutator();
+        let _keep: Vec<_> = (0..4).map(|_| m.alloc(1).unwrap()).collect();
+        let shared = Arc::clone(&m.shared);
+        let guard = shared.cycle_lock.lock();
+        let t0 = Instant::now();
+        let deadline = t0 + std::time::Duration::from_millis(20);
+        let err = m.try_alloc_with_deadline(1, deadline).unwrap_err();
+        assert!(matches!(err, AllocError::HeapFull));
+        assert!(err.is_retryable(), "a deadline miss is worth retrying");
+        // Bounded overshoot: one park of at most `emergency_backoff` (1ms
+        // default) past the deadline, plus scheduling noise.
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(2),
+            "the deadline bounded the stall"
+        );
+        // The parked waits were accounted honestly.
+        assert!(c.stats().backoff_ns() > 0, "park time recorded");
+        drop(guard);
     }
 
     #[test]

@@ -45,6 +45,16 @@ pub struct CycleStats {
     /// mutator-side sweep time was never part of the cycle's phase
     /// intervals in the first place.
     pub lazy_swept_segments: usize,
+    /// Time allocating mutators spent parked in emergency-allocation
+    /// backoff while this cycle ran (ns) — the delta of
+    /// [`GcStats::backoff_ns`] over the cycle's window. This is
+    /// *concurrent mutator-side* time, not a collector phase: it
+    /// overlaps the cycle's wall clock (and can exceed it when several
+    /// allocators park at once), so [`CycleStats::timing_consistent`]
+    /// reports it without folding it into the phase sum. Before this
+    /// field existed, emergency-backoff stalls were invisible to cycle
+    /// accounting — serve-mode allocation stalls looked free.
+    pub backoff_ns: u64,
 }
 
 impl CycleStats {
@@ -57,6 +67,14 @@ impl CycleStats {
     /// injected-chaos times are disjoint sub-intervals of the cycle, so
     /// their sum can never exceed the wall-clock duration. Asserted (in
     /// debug builds) at the end of every completed cycle.
+    ///
+    /// [`CycleStats::backoff_ns`] is deliberately *not* part of the sum:
+    /// emergency-backoff parks happen on allocating mutator threads
+    /// concurrently with the cycle (several allocators can park at once,
+    /// so the total can exceed the cycle's own wall clock). It is
+    /// accounted separately — reported per cycle here and globally in
+    /// [`GcStats::backoff_ns`] — rather than silently dropped, which is
+    /// what keeps serve-mode cycle accounting honest.
     pub fn timing_consistent(&self) -> bool {
         self.handshake_ns + self.mark_ns + self.sweep_ns + self.chaos_ns <= self.duration_ns
     }
@@ -67,7 +85,7 @@ impl CycleStats {
             "{{\"freed\":{},\"traced\":{},\"received\":{},\"work_rounds\":{},\
              \"live_after\":{},\"duration_ns\":{},\"handshake_ns\":{},\
              \"mark_ns\":{},\"sweep_ns\":{},\"chaos_ns\":{},\
-             \"tlab_refills\":{},\"lazy_swept_segments\":{}}}",
+             \"tlab_refills\":{},\"lazy_swept_segments\":{},\"backoff_ns\":{}}}",
             self.freed,
             self.traced,
             self.received,
@@ -79,7 +97,8 @@ impl CycleStats {
             self.sweep_ns,
             self.chaos_ns,
             self.tlab_refills,
-            self.lazy_swept_segments
+            self.lazy_swept_segments,
+            self.backoff_ns
         )
     }
 }
@@ -130,6 +149,9 @@ pub struct GcStats {
     /// Segments lazily swept — by mutators and the collector's mop-up
     /// (segmented layout).
     pub(crate) lazy_sweep_segments: AtomicU64,
+    /// Total time allocating mutators spent parked in emergency-allocation
+    /// backoff (ns).
+    pub(crate) backoff_ns: AtomicU64,
     /// Chaos faults fired, per [`ChaosSite`] (indexed by `repr`).
     pub(crate) chaos_fired: [AtomicU64; ChaosSite::COUNT],
     pub(crate) history: Mutex<Vec<CycleStats>>,
@@ -211,6 +233,15 @@ impl GcStats {
         self.lazy_sweep_segments.load(Ordering::Relaxed)
     }
 
+    /// Total time allocating mutators have spent parked in
+    /// emergency-allocation backoff, in nanoseconds — waiting for an
+    /// in-flight cycle they could not join. The allocation-stall signal
+    /// the serve harness exports; per-cycle deltas land in
+    /// [`CycleStats::backoff_ns`].
+    pub fn backoff_ns(&self) -> u64 {
+        self.backoff_ns.load(Ordering::Relaxed)
+    }
+
     /// Chaos faults that actually fired at `site` — the assertion handle
     /// for fault-injection tests.
     pub fn chaos_fired(&self, site: ChaosSite) -> u64 {
@@ -247,6 +278,7 @@ impl GcStats {
             ("emergency_cycles".to_owned(), self.emergency_cycles()),
             ("tlab_refills".to_owned(), self.tlab_refills()),
             ("lazy_sweep_segments".to_owned(), self.lazy_sweep_segments()),
+            ("backoff_ns".to_owned(), self.backoff_ns()),
         ];
         for site in ChaosSite::ALL {
             let fired = self.chaos_fired(site);
@@ -321,6 +353,19 @@ mod tests {
             ..CycleStats::default()
         };
         assert!(!bad.timing_consistent());
+        // Emergency-backoff park time is concurrent mutator-side time:
+        // it may exceed the cycle's own wall clock (several allocators
+        // parked at once) without breaking the phase composition.
+        let parked = CycleStats {
+            duration_ns: 100,
+            handshake_ns: 40,
+            mark_ns: 30,
+            sweep_ns: 20,
+            chaos_ns: 10,
+            backoff_ns: 400,
+            ..CycleStats::default()
+        };
+        assert!(parked.timing_consistent());
     }
 
     #[test]
@@ -338,6 +383,7 @@ mod tests {
             chaos_ns: 50,
             tlab_refills: 6,
             lazy_swept_segments: 2,
+            backoff_ns: 25,
         };
         let text = c.to_string();
         assert!(text.contains("freed     3"));
@@ -347,6 +393,7 @@ mod tests {
         assert!(json.contains("\"chaos_ns\":50"));
         assert!(json.contains("\"tlab_refills\":6"));
         assert!(json.contains("\"lazy_swept_segments\":2"));
+        assert!(json.contains("\"backoff_ns\":25"));
         // Braces balance; keys are quoted: crude but dependency-free shape
         // checks (the real parser lives in gc-trace's integration tests).
         assert!(json.starts_with('{') && json.ends_with('}'));
@@ -369,5 +416,6 @@ mod tests {
         assert!(json.contains("\"cycles\":5"));
         assert!(json.contains("\"allocated\":123"));
         assert!(json.contains("\"chaos_cas_lost\":2"));
+        assert!(json.contains("\"backoff_ns\":0"));
     }
 }

@@ -121,4 +121,26 @@ mod tests {
         b.reset();
         assert_eq!(b.step, 0);
     }
+
+    #[test]
+    fn backoff_sleep_respects_the_configured_cap() {
+        // The emergency-allocation and pacing paths rely on the cap to
+        // bound each individual park — verify the cap is honoured even
+        // deep into the escalation, and that sub-µs caps clamp to 1µs
+        // rather than 0 (a zero cap would spin hot).
+        let mut b = Backoff::with_max_sleep(Duration::from_micros(50));
+        assert_eq!(b.max_sleep_us, 50);
+        for _ in 0..40 {
+            b.wait(); // escalate far past the point the cap binds
+        }
+        let exp = (b.step - 1 - SPIN_STEPS).min(32);
+        let us = BASE_SLEEP_US
+            .saturating_mul(1u64 << exp.min(20))
+            .min(b.max_sleep_us);
+        assert_eq!(us, 50, "the last sleep was clamped to the cap");
+        assert_eq!(
+            Backoff::with_max_sleep(Duration::from_nanos(10)).max_sleep_us,
+            1
+        );
+    }
 }

@@ -1,0 +1,122 @@
+//! Structured request failures, mirroring the runtime's
+//! [`AllocError`] retryable/fatal split.
+
+use otf_gc::AllocError;
+use std::fmt;
+
+/// Why a request was not served. The retryable/fatal split mirrors
+/// [`AllocError::is_retryable`]: everything the *service* did in its own
+/// defence (rejecting, shedding, timing out, restarting a worker) is
+/// retryable — the client may simply try again later — while a fatal
+/// allocation verdict ([`AllocError::Exhausted`]) means the live set
+/// genuinely does not fit and retrying cannot help.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control: the bounded queue was full (or closed).
+    QueueFull,
+    /// Admission control: a low-priority request was refused because heap
+    /// occupancy had crossed the shed watermark.
+    Shed {
+        /// Occupancy at refusal, in per-mille of heap capacity.
+        occupancy_permille: u32,
+    },
+    /// The request's deadline passed — while queued, or during an
+    /// allocation that could not finish in time.
+    DeadlineExceeded,
+    /// The worker serving the request was killed by an injected panic;
+    /// the service restarted the worker and dropped the request.
+    WorkerPanicked,
+    /// An allocation failed for a reason other than the deadline.
+    /// Retryability defers to [`AllocError::is_retryable`].
+    Alloc(AllocError),
+}
+
+impl ServeError {
+    /// Whether a client retry can succeed. Mirrors
+    /// [`AllocError::is_retryable`]: `false` only when the failure is a
+    /// fatal allocation verdict.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ServeError::QueueFull
+            | ServeError::Shed { .. }
+            | ServeError::DeadlineExceeded
+            | ServeError::WorkerPanicked => true,
+            ServeError::Alloc(e) => e.is_retryable(),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "admission queue full"),
+            ServeError::Shed { occupancy_permille } => write!(
+                f,
+                "shed: low-priority request refused at {occupancy_permille}\u{2030} heap occupancy"
+            ),
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ServeError::WorkerPanicked => write!(f, "worker panicked mid-request"),
+            ServeError::Alloc(e) => write!(f, "allocation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<AllocError> for ServeError {
+    /// Maps an allocation failure into the serve vocabulary.
+    /// [`AllocError::HeapFull`] out of the deadline-aware allocation path
+    /// means the deadline expired while the heap was full, so it becomes
+    /// [`ServeError::DeadlineExceeded`]; everything else is carried as-is.
+    fn from(e: AllocError) -> ServeError {
+        match e {
+            AllocError::HeapFull => ServeError::DeadlineExceeded,
+            other => ServeError::Alloc(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_split_mirrors_alloc_error() {
+        // Service-side defences: always retryable.
+        assert!(ServeError::QueueFull.is_retryable());
+        assert!(ServeError::Shed {
+            occupancy_permille: 912
+        }
+        .is_retryable());
+        assert!(ServeError::DeadlineExceeded.is_retryable());
+        assert!(ServeError::WorkerPanicked.is_retryable());
+        // Allocation verdicts defer to the runtime's own split.
+        assert!(ServeError::Alloc(AllocError::HeapFull).is_retryable());
+        assert!(!ServeError::Alloc(AllocError::Exhausted {
+            live: 256,
+            capacity: 256,
+            cycles_tried: 4
+        })
+        .is_retryable());
+        assert!(!ServeError::Alloc(AllocError::TooManyFields {
+            requested: 9,
+            max: 2
+        })
+        .is_retryable());
+    }
+
+    #[test]
+    fn heap_full_converts_to_a_retryable_deadline_miss() {
+        let e: ServeError = AllocError::HeapFull.into();
+        assert_eq!(e, ServeError::DeadlineExceeded);
+        assert!(e.is_retryable());
+        let f: ServeError = AllocError::Exhausted {
+            live: 8,
+            capacity: 8,
+            cycles_tried: 2,
+        }
+        .into();
+        assert!(matches!(f, ServeError::Alloc(AllocError::Exhausted { .. })));
+        assert!(!f.is_retryable());
+    }
+}

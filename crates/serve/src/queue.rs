@@ -1,0 +1,178 @@
+//! The admission queue: a bounded MPMC queue that *rejects* rather than
+//! blocks when full.
+//!
+//! Backpressure starts here: [`BoundedQueue::try_push`] never waits — a
+//! full queue returns the request to the producer, which records it as
+//! rejected and moves on. Consumers ([`BoundedQueue::pop_timeout`]) wait at
+//! most a caller-chosen bound, so a worker blocked on an empty queue keeps
+//! returning to its GC safepoint and can never hold up a handshake
+//! indefinitely. [`BoundedQueue::close`] wakes every waiter; combined with
+//! the pop timeout this makes shutdown deadlock-free by construction.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue with non-blocking push
+/// and bounded-wait pop. See the module docs for the backpressure
+/// contract.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (which must be nonzero).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        assert!(capacity > 0, "queue capacity must be nonzero");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits `item`, or hands it back without blocking when the queue is
+    /// full or closed.
+    ///
+    /// # Errors
+    ///
+    /// `Err(item)` when the queue is at capacity or closed — the caller
+    /// decides what rejection means (the serve harness counts it and
+    /// drops the request).
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut g = self.inner.lock().expect("serve queue lock");
+        if g.closed || g.items.len() >= self.capacity {
+            return Err(item);
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Takes the oldest item, waiting at most `timeout` for one to arrive.
+    /// Returns `None` on timeout or when the queue is closed and empty —
+    /// callers distinguish via [`BoundedQueue::is_drained`].
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.inner.lock().expect("serve queue lock");
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, _timed_out) = self
+                .not_empty
+                .wait_timeout(g, deadline - now)
+                .expect("serve queue lock");
+            g = next;
+        }
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("serve queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: further pushes are rejected, queued items remain
+    /// poppable, and every blocked popper wakes.
+    pub fn close(&self) {
+        let mut g = self.inner.lock().expect("serve queue lock");
+        g.closed = true;
+        drop(g);
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("serve queue lock").closed
+    }
+
+    /// Closed *and* empty: consumers seeing this can exit.
+    pub fn is_drained(&self) -> bool {
+        let g = self.inner.lock().expect("serve queue lock");
+        g.closed && g.items.is_empty()
+    }
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_rejects_when_full_and_preserves_fifo_order() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "full queue hands the item back");
+        assert_eq!(q.pop_timeout(Duration::ZERO), Some(1));
+        assert!(q.try_push(4).is_ok());
+        assert_eq!(q.pop_timeout(Duration::ZERO), Some(2));
+        assert_eq!(q.pop_timeout(Duration::ZERO), Some(4));
+    }
+
+    #[test]
+    fn pop_times_out_promptly_on_an_empty_queue() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let t0 = Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), None);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "bounded wait, not a hang"
+        );
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers_and_drains_remaining_items() {
+        let q = std::sync::Arc::new(BoundedQueue::new(4));
+        q.try_push(7).unwrap();
+        let popper = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || {
+                // First pop gets the queued item; the second blocks until
+                // close() wakes it.
+                let a = q.pop_timeout(Duration::from_secs(30));
+                let b = q.pop_timeout(Duration::from_secs(30));
+                (a, b)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        let (a, b) = popper.join().unwrap();
+        assert_eq!(a, Some(7));
+        assert_eq!(b, None, "close() unblocked the waiter");
+        assert!(q.is_drained());
+        assert_eq!(q.try_push(8), Err(8), "closed queue rejects pushes");
+    }
+}

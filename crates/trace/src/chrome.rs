@@ -17,6 +17,18 @@ use crate::tracer::TrackDump;
 /// The process id used for every emitted event (single-process trace).
 const PID: u64 = 1;
 
+/// Names for the well-known [`EventKind::Counter`] ids, rendered as Chrome
+/// counter tracks (`ph:"C"`). Ids beyond the table render as
+/// `counter-<id>`.
+pub const COUNTER_NAMES: [&str; 3] = ["heap_occupancy_permille", "frontier", "queue_depth"];
+
+fn counter_name(id: u8) -> String {
+    COUNTER_NAMES
+        .get(id as usize)
+        .map(|s| (*s).to_owned())
+        .unwrap_or_else(|| format!("counter-{id}"))
+}
+
 /// What kind of span an open `B` belongs to, for matching closes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SpanTag {
@@ -33,6 +45,17 @@ fn handshake_name(ty: u8) -> &'static str {
 
 fn phase_name(phase: u8) -> &'static str {
     PHASE_NAMES.get(phase as usize).copied().unwrap_or("?")
+}
+
+/// Names for [`EventKind::ServeRequest`] outcomes.
+fn serve_outcome_name(outcome: u8) -> &'static str {
+    match outcome {
+        0 => "ok",
+        1 => "shed",
+        2 => "rejected",
+        3 => "timeout",
+        _ => "error",
+    }
 }
 
 /// Microseconds (Chrome's `ts` unit) from our nanosecond stamps.
@@ -186,6 +209,12 @@ fn export_track(dump: &TrackDump, out: &mut Vec<Json>) {
                     base("B", &format!("level {level}"), "mc", ts, tid)
                         .set("args", Json::obj().set("frontier", frontier)),
                 );
+                // The frontier size doubles as a counter track so its
+                // growth curve is visible at a glance in the timeline.
+                out.push(
+                    base("C", &counter_name(1), "mc", ts, tid)
+                        .set("args", Json::obj().set("value", frontier)),
+                );
             }
             EventKind::LevelEnd {
                 discovered,
@@ -282,6 +311,24 @@ fn export_track(dump: &TrackDump, out: &mut Vec<Json>) {
                 tid,
                 Json::obj().set("value", value),
             )),
+            EventKind::Counter { id, value } => out.push(
+                base("C", &counter_name(id), "app", ts, tid)
+                    .set("args", Json::obj().set("value", value)),
+            ),
+            EventKind::ServeRequest {
+                id,
+                outcome,
+                latency_us,
+            } => out.push(instant(
+                "serve_request",
+                "serve",
+                ts,
+                tid,
+                Json::obj()
+                    .set("id", id)
+                    .set("outcome", serve_outcome_name(outcome))
+                    .set("latency_us", latency_us),
+            )),
         }
     }
     // Close anything left open at the track's last timestamp so the trace
@@ -359,6 +406,15 @@ pub fn event_json(track: u32, track_name: &str, e: &Event) -> Json {
         EventKind::SpanBegin { id } => j.set("id", id),
         EventKind::SpanEnd { id } => j.set("id", id),
         EventKind::Instant { id, value } => j.set("id", id).set("value", value),
+        EventKind::Counter { id, value } => j.set("counter", counter_name(id)).set("value", value),
+        EventKind::ServeRequest {
+            id,
+            outcome,
+            latency_us,
+        } => j
+            .set("id", id)
+            .set("outcome", serve_outcome_name(outcome))
+            .set("latency_us", latency_us),
     };
     j
 }
@@ -372,6 +428,8 @@ pub struct TraceSummary {
     pub spans: usize,
     /// Instant (`ph: "i"`) events.
     pub instants: usize,
+    /// Counter (`ph: "C"`) samples.
+    pub counters: usize,
     /// Distinct `tid`s seen.
     pub tracks: usize,
 }
@@ -388,6 +446,7 @@ pub fn validate_chrome_trace(trace: &Json) -> Result<TraceSummary, String> {
     let mut tids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
     let mut spans = 0usize;
     let mut instants = 0usize;
+    let mut counters = 0usize;
     for (i, e) in events.iter().enumerate() {
         let ph = e
             .get("ph")
@@ -433,6 +492,14 @@ pub fn validate_chrome_trace(trace: &Json) -> Result<TraceSummary, String> {
                     .ok_or_else(|| format!("event {i}: instant without name"))?;
                 instants += 1;
             }
+            "C" => {
+                e.get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: counter without name"))?;
+                e.get("args")
+                    .ok_or_else(|| format!("event {i}: counter without args"))?;
+                counters += 1;
+            }
             "M" => {}
             other => return Err(format!("event {i}: unsupported ph {other:?}")),
         }
@@ -444,6 +511,7 @@ pub fn validate_chrome_trace(trace: &Json) -> Result<TraceSummary, String> {
         events: events.len(),
         spans,
         instants,
+        counters,
         tracks: tids.len(),
     })
 }
@@ -563,6 +631,78 @@ mod tests {
         let trace = chrome_trace(&[d]);
         let summary = validate_chrome_trace(&trace).expect("still balanced");
         assert_eq!(summary.spans, 2);
+    }
+
+    #[test]
+    fn counter_tracks_render_and_validate() {
+        let d = dump(
+            4,
+            "gc-serve",
+            vec![
+                (10, EventKind::Counter { id: 0, value: 850 }),
+                (20, EventKind::Counter { id: 2, value: 17 }),
+                (30, EventKind::Counter { id: 9, value: 3 }),
+                (
+                    40,
+                    EventKind::ServeRequest {
+                        id: 12,
+                        outcome: 1,
+                        latency_us: 900,
+                    },
+                ),
+            ],
+        );
+        let trace = chrome_trace(&[d]);
+        let parsed = Json::parse(&trace.to_string()).expect("valid JSON");
+        let summary = validate_chrome_trace(&parsed).expect("counters validate");
+        assert_eq!(summary.counters, 3);
+        assert_eq!(summary.instants, 1); // the serve_request
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let counter_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert_eq!(
+            counter_names,
+            ["heap_occupancy_permille", "queue_depth", "counter-9"]
+        );
+        // A BFS level opening also samples the frontier counter.
+        let lvl = dump(
+            5,
+            "mc",
+            vec![
+                (
+                    1,
+                    EventKind::LevelBegin {
+                        level: 0,
+                        frontier: 42,
+                    },
+                ),
+                (
+                    2,
+                    EventKind::LevelEnd {
+                        level: 0,
+                        discovered: 7,
+                        states_total: 49,
+                    },
+                ),
+            ],
+        );
+        let summary = validate_chrome_trace(&chrome_trace(&[lvl])).expect("valid");
+        assert_eq!(summary.counters, 1);
+        assert_eq!(summary.spans, 1);
+        // A counter without args must be rejected.
+        let bad = Json::obj().set(
+            "traceEvents",
+            Json::Arr(vec![Json::obj()
+                .set("name", "q")
+                .set("ph", "C")
+                .set("ts", 1u64)
+                .set("pid", 1u64)
+                .set("tid", 1u64)]),
+        );
+        assert!(validate_chrome_trace(&bad).is_err());
     }
 
     #[test]

@@ -152,6 +152,25 @@ pub enum EventKind {
         /// The measured value.
         value: u64,
     },
+    /// A sampled counter value, rendered as a Chrome counter track
+    /// (`ph:"C"`). Well-known ids are named by
+    /// [`COUNTER_NAMES`](crate::chrome::COUNTER_NAMES): 0 = heap occupancy
+    /// (per-mille), 1 = frontier size, 2 = queue depth.
+    Counter {
+        /// Counter id, indexes [`COUNTER_NAMES`](crate::chrome::COUNTER_NAMES).
+        id: u8,
+        /// The sampled value.
+        value: u64,
+    },
+    /// A served request resolved (emitted by the `gc-serve` harness).
+    ServeRequest {
+        /// Request id.
+        id: u32,
+        /// 0 ok, 1 shed, 2 rejected, 3 deadline timeout, 4 error.
+        outcome: u8,
+        /// End-to-end latency in microseconds.
+        latency_us: u32,
+    },
 }
 
 impl EventKind {
@@ -177,6 +196,8 @@ impl EventKind {
             EventKind::SpanBegin { .. } => "span_begin",
             EventKind::SpanEnd { .. } => "span_end",
             EventKind::Instant { .. } => "instant",
+            EventKind::Counter { .. } => "counter",
+            EventKind::ServeRequest { .. } => "serve_request",
         }
     }
 }
@@ -225,6 +246,16 @@ impl Event {
             EventKind::LazySweepSegment { segment, freed } => {
                 (19, u64::from(segment), u64::from(freed))
             }
+            EventKind::Counter { id, value } => (20, u64::from(id), value),
+            EventKind::ServeRequest {
+                id,
+                outcome,
+                latency_us,
+            } => (
+                21,
+                (u64::from(id) << 8) | u64::from(outcome),
+                u64::from(latency_us),
+            ),
         };
         [self.ts_ns, code, a, b]
     }
@@ -278,6 +309,15 @@ impl Event {
             19 => EventKind::LazySweepSegment {
                 segment: a as u32,
                 freed: b as u32,
+            },
+            20 => EventKind::Counter {
+                id: a as u8,
+                value: b,
+            },
+            21 => EventKind::ServeRequest {
+                id: (a >> 8) as u32,
+                outcome: a as u8,
+                latency_us: b as u32,
             },
             _ => return None,
         };
@@ -340,6 +380,12 @@ mod tests {
             EventKind::Instant {
                 id: 1,
                 value: u64::MAX,
+            },
+            EventKind::Counter { id: 2, value: 997 },
+            EventKind::ServeRequest {
+                id: 123_456,
+                outcome: 3,
+                latency_us: 41_000,
             },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {

@@ -48,12 +48,14 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod ring;
+pub mod sink;
 pub mod tracer;
 
 pub use event::{Event, EventKind, HANDSHAKE_NAMES, PHASE_NAMES};
 pub use json::{Json, JsonError};
 pub use metrics::{bench_record, Counter, Gauge, Histogram, Registry};
 pub use ring::Ring;
+pub use sink::{SinkSummary, TraceSink};
 pub use tracer::{
     disable, emit, enable, enabled, set_track_name, Tracer, TrackDump, DEFAULT_RING_CAPACITY,
 };

@@ -1,0 +1,298 @@
+//! Background trace drain: stream the per-thread rings to a JSONL file
+//! *during* the run.
+//!
+//! The rings are fixed-capacity and drop on overflow, so a long torture or
+//! serve run that only drains at the end loses its early window — exactly
+//! the part that explains how an incident started. [`TraceSink::spawn_drain`]
+//! fixes that (ROADMAP: "close the gc-trace loop"): a background thread
+//! drains every track on an interval and appends the events to a JSONL file
+//! (the [`crate::chrome::event_json`] record shape, one object per line).
+//!
+//! Drops that happen anyway — the drain interval was too long for the event
+//! rate — are *reported honestly*: the file ends with a footer line
+//! carrying the lifetime overflow count summed across tracks, and
+//! [`TraceSink::finish`] returns the same numbers as a [`SinkSummary`].
+//!
+//! # Sole-drainer requirement
+//!
+//! [`Tracer::drain`] is destructive and process-global: whoever calls it
+//! takes the buffered events. While a sink is running it must be the *only*
+//! drainer — a workload that also calls `drain()` itself will race the sink
+//! and each will see a disjoint subset. Drain-at-end consumers (e.g. a
+//! final Chrome export) should `finish()` the sink first and read the JSONL
+//! file instead.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::chrome::event_json;
+use crate::json::Json;
+use crate::tracer::Tracer;
+
+/// What a finished sink did, also written as the file's footer line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SinkSummary {
+    /// Events written to the file (excluding the footer).
+    pub events: u64,
+    /// Events lost to ring overflow across every track's lifetime — honest
+    /// accounting: these were *never seen* by any drain, this one included.
+    pub dropped: u64,
+    /// Drain passes performed (including the final flush-on-stop pass).
+    pub drains: u64,
+}
+
+/// A background thread streaming the tracer's rings to a JSONL file.
+///
+/// Create with [`TraceSink::spawn_drain`]; stop with [`TraceSink::finish`]
+/// (returns the [`SinkSummary`] and any deferred I/O error) or by dropping
+/// the sink (flush-on-drop, errors swallowed).
+#[derive(Debug)]
+pub struct TraceSink {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<io::Result<SinkSummary>>>,
+}
+
+impl TraceSink {
+    /// Spawns a drain thread for the process-global [`Tracer`], appending
+    /// each drained event to `path` as one JSON object per line, every
+    /// `interval`. The file is created (truncated) eagerly so setup errors
+    /// surface here rather than on the background thread.
+    ///
+    /// # Errors
+    ///
+    /// Any error creating the output file.
+    pub fn spawn_drain<P: AsRef<Path>>(path: P, interval: Duration) -> io::Result<TraceSink> {
+        TraceSink::spawn_drain_on(Tracer::global(), path, interval)
+    }
+
+    /// [`TraceSink::spawn_drain`] against an explicit tracer (the tests'
+    /// isolation hook — production code has only the global tracer).
+    pub(crate) fn spawn_drain_on<P: AsRef<Path>>(
+        tracer: &'static Tracer,
+        path: P,
+        interval: Duration,
+    ) -> io::Result<TraceSink> {
+        let mut out = BufWriter::new(File::create(path)?);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("gc-trace-sink".into())
+            .spawn(move || {
+                let mut summary = SinkSummary::default();
+                // Lifetime overflow per track id: `TrackDump::dropped` is
+                // cumulative, so keep the latest observation and sum at the
+                // end rather than adding deltas (a track draining clean in
+                // between must not zero its history).
+                let mut dropped_by_track: HashMap<u32, u64> = HashMap::new();
+                while !stop_flag.load(Ordering::Acquire) {
+                    // Sleep in short steps so `finish()` never waits a full
+                    // interval for the thread to notice the stop flag.
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !stop_flag.load(Ordering::Acquire) {
+                        let step = (interval - slept).min(Duration::from_millis(10));
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    drain_pass(tracer, &mut out, &mut dropped_by_track, &mut summary)?;
+                }
+                // Final pass: events emitted after the last interval tick
+                // still land in the file (flush-on-stop, also the
+                // flush-on-drop path).
+                drain_pass(tracer, &mut out, &mut dropped_by_track, &mut summary)?;
+                summary.dropped = dropped_by_track.values().sum();
+                writeln!(
+                    out,
+                    "{}",
+                    Json::obj()
+                        .set("trace_footer", true)
+                        .set("events", summary.events)
+                        .set("dropped", summary.dropped)
+                        .set("drains", summary.drains)
+                )?;
+                out.flush()?;
+                Ok(summary)
+            })
+            .expect("spawn trace sink thread");
+        Ok(TraceSink {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Stops the drain thread, flushes the file (final drain + footer), and
+    /// returns what was written.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error the background thread hit — deferred to here so the
+    /// hot path never blocks on error handling.
+    pub fn finish(mut self) -> io::Result<SinkSummary> {
+        self.stop.store(true, Ordering::Release);
+        match self.handle.take().expect("sink joined twice").join() {
+            Ok(r) => r,
+            Err(_) => Err(io::Error::other("trace sink thread panicked")),
+        }
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        // Flush-on-drop: a sink abandoned without `finish()` still stops
+        // cleanly and writes its footer; errors have nowhere to go here.
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One drain: append every buffered event to the file, update the
+/// per-track overflow observations.
+fn drain_pass(
+    tracer: &Tracer,
+    out: &mut BufWriter<File>,
+    dropped_by_track: &mut HashMap<u32, u64>,
+    summary: &mut SinkSummary,
+) -> io::Result<()> {
+    for dump in tracer.drain() {
+        dropped_by_track.insert(dump.id, dump.dropped);
+        for e in &dump.events {
+            writeln!(out, "{}", event_json(dump.id, &dump.name, e))?;
+            summary.events += 1;
+        }
+    }
+    summary.drains += 1;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    /// A leaked private tracer: these tests run a destructive background
+    /// drainer, which must never race the other tests' drains of the
+    /// global tracer.
+    fn private_tracer() -> &'static Tracer {
+        Box::leak(Box::new(Tracer::new()))
+    }
+
+    #[test]
+    fn sink_streams_events_and_reports_footer() {
+        let _g = crate::tracer::test_guard();
+        let t = private_tracer();
+        let dir = std::env::temp_dir().join("gc-trace-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("stream-{}.jsonl", std::process::id()));
+        let sink =
+            TraceSink::spawn_drain_on(t, &path, Duration::from_millis(5)).expect("spawn sink");
+        crate::enable();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Fresh thread: its track registers with the private
+                // tracer, not the global one.
+                for i in 0..100 {
+                    t.record(EventKind::Instant { id: 700, value: i });
+                }
+            });
+        });
+        // Let at least one interval drain happen mid-run.
+        std::thread::sleep(Duration::from_millis(20));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 100..120 {
+                    t.record(EventKind::Instant { id: 700, value: i });
+                }
+            });
+        });
+        crate::disable();
+        let summary = sink.finish().expect("clean finish");
+        assert_eq!(summary.events, 120, "every event reached the file");
+        assert_eq!(summary.dropped, 0);
+        assert!(
+            summary.drains >= 2,
+            "drained during the run, not just at stop"
+        );
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 121, "120 events + footer");
+        for line in &lines[..120] {
+            let v = Json::parse(line).expect("valid JSONL");
+            assert_eq!(v.get("event").and_then(Json::as_str), Some("instant"));
+        }
+        let footer = Json::parse(lines[120]).expect("valid footer");
+        assert_eq!(footer.get("trace_footer"), Some(&Json::Bool(true)));
+        assert_eq!(footer.get("events").and_then(Json::as_f64), Some(120.0));
+        assert_eq!(footer.get("dropped").and_then(Json::as_f64), Some(0.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sink_reports_overflow_honestly() {
+        let _g = crate::tracer::test_guard();
+        let t = private_tracer();
+        t.set_ring_capacity(8);
+        let dir = std::env::temp_dir().join("gc-trace-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("overflow-{}.jsonl", std::process::id()));
+        // A long interval: the burst below overflows the 8-slot ring long
+        // before the first drain.
+        let sink =
+            TraceSink::spawn_drain_on(t, &path, Duration::from_secs(60)).expect("spawn sink");
+        crate::enable();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..64 {
+                    t.record(EventKind::Instant { id: 701, value: i });
+                }
+            });
+        });
+        crate::disable();
+        let summary = sink.finish().expect("clean finish");
+        assert!(summary.dropped > 0, "the overflow was not hidden");
+        assert_eq!(
+            summary.events + summary.dropped,
+            64,
+            "written + dropped = emitted"
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let footer = Json::parse(text.lines().last().unwrap()).unwrap();
+        assert_eq!(
+            footer.get("dropped").and_then(Json::as_f64),
+            Some(summary.dropped as f64)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn drop_flushes_without_finish() {
+        let _g = crate::tracer::test_guard();
+        let t = private_tracer();
+        let dir = std::env::temp_dir().join("gc-trace-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("drop-{}.jsonl", std::process::id()));
+        {
+            let _sink =
+                TraceSink::spawn_drain_on(t, &path, Duration::from_secs(60)).expect("spawn sink");
+            crate::enable();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    t.record(EventKind::Instant { id: 702, value: 1 });
+                });
+            });
+            crate::disable();
+            // Dropped here: flush-on-drop must still write event + footer.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "one event + footer");
+        assert!(text.lines().last().unwrap().contains("trace_footer"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -71,7 +71,11 @@ thread_local! {
 }
 
 impl Tracer {
-    fn new() -> Tracer {
+    /// A fresh tracer. Crate-internal: everything routes through
+    /// [`Tracer::global`] in production; the trace sink's tests use a
+    /// private leaked instance so their background drains cannot steal
+    /// events from concurrently running tests of the global tracer.
+    pub(crate) fn new() -> Tracer {
         Tracer {
             epoch: Instant::now(),
             tracks: Mutex::new(Vec::new()),
@@ -217,16 +221,31 @@ pub fn set_track_name(name: &str) {
     Tracer::global().name_current_track(name);
 }
 
+/// Serialises tests (here and in [`crate::sink`]) that toggle the
+/// process-global [`ENABLED`] flag or drain the global tracer — without it
+/// they race under the default parallel test runner.
+#[cfg(test)]
+pub(crate) static TEST_ENABLE_GUARD: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    TEST_ENABLE_GUARD
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     // The tracer is process-global state; these tests run in one process
-    // with other tests, so they only assert properties that are robust to
-    // concurrent emitters (their own track's contents).
+    // with other tests, so they serialise on `TEST_ENABLE_GUARD` and only
+    // assert properties that are robust to concurrent emitters (their own
+    // track's contents).
 
     #[test]
     fn disabled_emit_records_nothing_enabled_emit_records() {
+        let _g = test_guard();
         let t = Tracer::global();
         t.disable();
         emit(EventKind::Instant { id: 901, value: 1 });
@@ -245,6 +264,7 @@ mod tests {
 
     #[test]
     fn named_tracks_surface_in_drain() {
+        let _g = test_guard();
         let t = Tracer::global();
         t.enable();
         std::thread::scope(|s| {
@@ -267,6 +287,7 @@ mod tests {
 
     #[test]
     fn timestamps_are_monotonic_per_track() {
+        let _g = test_guard();
         let t = Tracer::global();
         t.enable();
         std::thread::scope(|s| {

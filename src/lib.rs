@@ -20,6 +20,9 @@
 //! * [`gc`] — the executable on-the-fly mark-sweep collector runtime.
 //! * [`trace`] — lock-free event tracing, the metrics registry and the
 //!   Chrome-trace exporter behind the `gc-trace` binary (§2.10).
+//! * [`serve`] — the request-serving robustness harness behind the
+//!   `gc-serve` binary: admission control, deadline-aware allocation,
+//!   adaptive pacing, and chaos-under-serve (§2.12).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the per-figure reproduction record.
@@ -27,6 +30,7 @@
 pub use cimp;
 pub use gc_analysis as analysis;
 pub use gc_model as model;
+pub use gc_serve as serve;
 pub use gc_trace as trace;
 pub use gc_types as types;
 pub use mc;
