@@ -172,11 +172,58 @@ fn bench_alloc_pooling() {
     }
 }
 
+/// The checker's hot successor-expansion path: a fresh `Vec` per state
+/// (`successors`) vs one reused scratch buffer (`successors_into`) over
+/// a fixed bag of reachable model states. The delta is what the
+/// buffer-reuse path buys the BFS inner loop in allocation churn.
+fn bench_successor_expansion() {
+    use gc_model::{GcModel, ModelConfig};
+    use mc::TransitionSystem;
+
+    let model = GcModel::new(ModelConfig::default());
+    // A few BFS levels' worth of states to expand, duplicates and all
+    // (the expansion cost is per state, not per distinct state).
+    let mut states = model.initial_states();
+    let mut frontier = states.clone();
+    while states.len() < 512 {
+        let mut next = Vec::new();
+        for s in &frontier {
+            next.extend(model.successors(s).into_iter().map(|(_, t)| t));
+        }
+        frontier = next;
+        states.extend(frontier.iter().cloned());
+    }
+    states.truncate(512);
+
+    bench_function("expand 512 states: successors (fresh Vec)", |bench| {
+        bench.iter(|| {
+            let mut n = 0usize;
+            for s in &states {
+                n += model.successors(s).len();
+            }
+            n
+        })
+    });
+    bench_function("expand 512 states: successors_into (reused)", |bench| {
+        let mut buf = Vec::new();
+        bench.iter(|| {
+            let mut n = 0usize;
+            for s in &states {
+                buf.clear();
+                model.successors_into(s, &mut buf);
+                n += buf.len();
+            }
+            n
+        })
+    });
+}
+
 fn main() {
     bench_function("alloc+discard churn (collector running)", bench_alloc_churn);
     bench_cycle_vs_live();
     bench_handshake_latency();
     bench_alloc_pooling();
     bench_trace_emit();
+    bench_successor_expansion();
     gc_bench::harness::write_session_record("runtime", &[]);
 }

@@ -19,6 +19,19 @@ impl ComId {
         self.0 as usize
     }
 
+    /// The raw arena index, for external state serialization (e.g. the
+    /// model checker's compact frontier encoding).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a `ComId` from [`ComId::raw`]. The caller is responsible
+    /// for only feeding back values obtained from `raw` on the *same*
+    /// program; a stale or foreign index is not dereferenceable.
+    pub fn from_raw(raw: u32) -> ComId {
+        ComId(raw)
+    }
+
     /// A placeholder id for tests that build intentionally-unreachable
     /// control structure; must never be dereferenced.
     #[cfg(test)]

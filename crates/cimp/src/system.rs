@@ -215,6 +215,18 @@ where
     /// `⇒` relation of Figure 8.
     pub fn successors(&self, state: &SystemState<S>) -> Vec<(Event<Req, Resp>, SystemState<S>)> {
         let mut out = Vec::new();
+        self.successors_into(state, &mut out);
+        out
+    }
+
+    /// Like [`System::successors`], but appends into a caller-provided
+    /// buffer instead of allocating a fresh `Vec` — the hot path for the
+    /// model checker's per-worker scratch buffers.
+    pub fn successors_into(
+        &self,
+        state: &SystemState<S>,
+        out: &mut Vec<(Event<Req, Resp>, SystemState<S>)>,
+    ) {
         // Per-process enabled steps, computed once.
         let steps: Vec<Vec<PendingStep<S, Req, Resp>>> = self
             .procs
@@ -295,7 +307,6 @@ where
                 }
             }
         }
-        out
     }
 }
 

@@ -21,6 +21,37 @@ use crate::worklist::{LocalList, Staged};
 /// [`CycleOutcome::TimedOut`].
 pub type MutId = u32;
 
+/// Samples the segmented heap's gauge series onto the calling thread's
+/// trace track: one `segment-<n>-occupancy` counter per segment plus the
+/// free-segment-stack depth. No-op on the slab layout (the single global
+/// occupancy counter covers it), in trace-less builds, and while tracing
+/// is runtime-disabled — the bitmap pass must not run when nobody is
+/// listening, so instrumented-but-quiet runs keep their timing.
+fn emit_segment_gauges(heap: &Heap) {
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = heap;
+    }
+    #[cfg(feature = "trace")]
+    if !gc_trace::enabled() {
+        return;
+    }
+    #[cfg(feature = "trace")]
+    if let Some(g) = heap.segment_gauges() {
+        for (i, &busy) in g.busy.iter().enumerate() {
+            trace_event!(SegmentOccupancy {
+                segment: i as u32,
+                busy,
+                slots: g.segment_slots,
+            });
+        }
+        trace_event!(FreeSegments {
+            free: g.free_depth,
+            total: g.busy.len() as u32,
+        });
+    }
+}
+
 /// Soft-handshake types, encoded into the low bits of the request word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u32)]
@@ -524,6 +555,7 @@ impl Shared {
             freed: cycle.freed as u32,
             traced: cycle.traced as u32
         });
+        emit_segment_gauges(&sh.heap);
         CycleOutcome::Completed(cycle)
     }
 }
@@ -713,6 +745,7 @@ impl Collector {
                                 id: 0,
                                 value: (occ * 1000.0) as u64
                             });
+                            emit_segment_gauges(&shared.heap);
                             if occ < high {
                                 backoff.reset();
                                 std::thread::sleep(poll);
@@ -876,6 +909,66 @@ mod tests {
         // b is still loadable through a.
         let b2 = m.load(a, 0).expect("b survived");
         assert_eq!(b2, b);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn segmented_cycle_emits_per_segment_gauges() {
+        use crate::config::HeapLayout;
+        let cfg = GcConfig::builder()
+            .capacity(16)
+            .max_fields(1)
+            .layout(HeapLayout::Segmented {
+                segment_slots: 8,
+                tlab_slots: 2,
+            })
+            .build();
+        let c = Collector::new(cfg);
+        let mut m = c.register_mutator();
+        let a = m.alloc(1).unwrap();
+        let g = m.alloc(1).unwrap();
+        m.discard(g);
+        gc_trace::enable();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                c.collect();
+                done.store(true, Ordering::Release);
+            });
+            while !done.load(Ordering::Acquire) {
+                m.safepoint();
+                std::thread::yield_now();
+            }
+        });
+        gc_trace::disable();
+        let events: Vec<gc_trace::EventKind> = gc_trace::Tracer::global()
+            .drain()
+            .into_iter()
+            .flat_map(|d| d.events)
+            .map(|e| e.kind)
+            .collect();
+        // One occupancy sample per segment (2 segments of 8 slots), plus
+        // the free-stack depth, all from the cycle-end sample.
+        let seg_samples: Vec<(u32, u32)> = events
+            .iter()
+            .filter_map(|k| match *k {
+                gc_trace::EventKind::SegmentOccupancy { segment, slots, .. } => {
+                    Some((segment, slots))
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(
+            seg_samples.contains(&(0, 8)) && seg_samples.contains(&(1, 8)),
+            "expected both segments sampled, got {seg_samples:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|k| matches!(k, gc_trace::EventKind::FreeSegments { total: 2, .. })),
+            "expected a free-segment-stack sample"
+        );
+        let _ = m.load(a, 0);
     }
 
     #[test]

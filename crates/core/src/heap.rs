@@ -312,6 +312,17 @@ fn pop_free_segment(sp: &SegSpace) -> Option<usize> {
     }
 }
 
+/// A segmented-layout gauge snapshot (see [`Heap::segment_gauges`]).
+#[derive(Debug)]
+pub(crate) struct SegmentGauges {
+    /// Unavailable slots per segment, indexed by segment.
+    pub(crate) busy: Vec<u32>,
+    /// Segments currently on the free-segment stack.
+    pub(crate) free_depth: u32,
+    /// Slots per segment (every segment's full-scale value).
+    pub(crate) segment_slots: u32,
+}
+
 /// What a TLAB refill did, for tracing and stats.
 #[derive(Debug, Default)]
 pub(crate) struct RefillInfo {
@@ -825,6 +836,46 @@ impl Heap {
             }
         };
         1.0 - available as f64 / cap as f64
+    }
+
+    /// A gauge snapshot of the segmented layout for tracing: per-segment
+    /// unavailable-slot counts (the same availability rule as
+    /// [`occupancy`](Heap::occupancy), so a condemned-but-unswept slot
+    /// reads as free) plus the free-segment-stack depth. `None` on the
+    /// slab layout, whose single occupancy counter already tells the
+    /// whole story. Racy by design — each word is read atomically but
+    /// the snapshot is not a consistent cut, which is fine for a gauge.
+    pub(crate) fn segment_gauges(&self) -> Option<SegmentGauges> {
+        let LayoutData::Segmented(sp) = &self.layout else {
+            return None;
+        };
+        let gen = sp.sweep_gen.load(Ordering::Acquire);
+        let sense = sp.sweep_sense.load(Ordering::Acquire);
+        let mut busy = Vec::with_capacity(sp.segments.len());
+        let mut free_depth = 0u32;
+        for seg in sp.segments.iter() {
+            if seg.on_stack.load(Ordering::Acquire) {
+                free_depth += 1;
+            }
+            let pending = seg.swept_gen.load(Ordering::Acquire) != gen;
+            let mut n = 0u32;
+            for w in 0..sp.words() {
+                let busy_w = seg.busy[w].load(Ordering::Acquire);
+                let mut unavailable = busy_w & sp.word_mask(w);
+                if pending {
+                    let live_w = seg.live[w].load(Ordering::Acquire);
+                    let marks_w = seg.marks[w].load(Ordering::Acquire);
+                    unavailable &= !(live_w & if sense { !marks_w } else { marks_w });
+                }
+                n += unavailable.count_ones();
+            }
+            busy.push(n);
+        }
+        Some(SegmentGauges {
+            busy,
+            free_depth,
+            segment_slots: sp.segment_slots as u32,
+        })
     }
 
     /// A snapshot of the global free list (integrity checking only — races

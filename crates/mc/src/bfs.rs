@@ -16,14 +16,47 @@
 //! claim time; a violation is reported at the state's deterministic drain
 //! position, so the reported counterexample is a shortest one and the
 //! reported state count matches the sequential checker's exactly.
+//!
+//! # Reductions
+//!
+//! When [`CheckerConfig::reduction`] enables them, a reduction layer sits
+//! between the transition system and the search:
+//!
+//! * **Partial-order reduction** — each expansion asks the system for an
+//!   [ample subset](crate::TransitionSystem::ample_successors_into) of its
+//!   successors. The engine enforces the cycle proviso (C3) itself: the
+//!   seen-set is frozen during the parallel phase (it is only mutated in
+//!   the sequential drain), so "every ample successor already seen" is a
+//!   deterministic predicate, and any state for which it holds is expanded
+//!   in full instead — an action can therefore never be postponed around a
+//!   cycle forever.
+//! * **Canonicalization** (symmetry orbits, store-buffer normal forms) —
+//!   every successor is mapped through
+//!   [`canonicalize`](crate::TransitionSystem::canonicalize) before
+//!   dedup/property checks, so an equivalence class costs one state.
+//!
+//! Determinism is unaffected: reductions are pure functions of the state,
+//! applied before the (already deterministic) claim protocol.
+//!
+//! # Disk spill
+//!
+//! With [`CheckerConfig::spill_threshold`] set and a state codec
+//! implemented, frontier levels larger than the threshold are written to a
+//! temporary file of length-prefixed encoded states during the drain (in
+//! deterministic order) and read back block-by-block by the workers of the
+//! next level, each through its own file handle. Ids within a level are
+//! consecutive, so the file stores only states.
 
 use std::collections::{HashMap, HashSet};
+use std::fs::File;
 use std::hash::{BuildHasher, Hash};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::config::CheckerConfig;
+use crate::config::{CheckerConfig, Reduction};
 use crate::hash::FxBuild;
 use crate::outcome::{Bound, Outcome, Stats, Trace};
 use crate::property::{first_violation, Property};
@@ -181,6 +214,161 @@ fn rebuild_trace<TS: TransitionSystem>(
     Trace { actions, state }
 }
 
+/// Distinguishes concurrently created spill files within one process.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// One BFS level. Ids within a level are consecutive, so a spilled level
+/// stores only encoded states and reconstructs ids from its base.
+enum Frontier<TS: TransitionSystem> {
+    Mem(Vec<(u32, TS::State)>),
+    Disk(DiskLevel),
+}
+
+impl<TS: TransitionSystem> Frontier<TS> {
+    fn len(&self) -> usize {
+        match self {
+            Frontier::Mem(v) => v.len(),
+            Frontier::Disk(d) => d.len,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Retrieves one `(id, state)` entry by position — used only for trace
+    /// reconstruction (deadlocks), never on the hot path.
+    fn fetch(&self, ts: &TS, pos: usize) -> (u32, TS::State) {
+        match self {
+            Frontier::Mem(v) => v[pos].clone(),
+            Frontier::Disk(d) => {
+                let mut buf = Vec::new();
+                let block = pos / BLOCK * BLOCK;
+                d.read_block(ts, block, pos + 1, &mut buf);
+                (d.first_id + pos as u32, buf.pop().expect("spilled entry"))
+            }
+        }
+    }
+}
+
+/// A frontier level spilled to a temporary file of `u32`-length-prefixed
+/// encoded states, with a byte offset recorded per [`BLOCK`] so workers
+/// can seek straight to a claimed block through independent file handles.
+struct DiskLevel {
+    path: PathBuf,
+    len: usize,
+    block_offsets: Vec<u64>,
+    /// State id of entry 0; entry `i` has id `first_id + i`.
+    first_id: u32,
+}
+
+impl DiskLevel {
+    /// Decodes entries `[start, end)` into `out`; `start` must be
+    /// block-aligned (it is the offset granularity).
+    fn read_block<TS: TransitionSystem>(
+        &self,
+        ts: &TS,
+        start: usize,
+        end: usize,
+        out: &mut Vec<TS::State>,
+    ) {
+        debug_assert_eq!(start % BLOCK, 0);
+        let file = File::open(&self.path).expect("open spill file");
+        let mut reader = BufReader::new(file);
+        reader
+            .seek(SeekFrom::Start(self.block_offsets[start / BLOCK]))
+            .expect("seek spill file");
+        let mut len_buf = [0u8; 4];
+        let mut bytes = Vec::new();
+        for _ in start..end {
+            reader.read_exact(&mut len_buf).expect("read spill length");
+            let n = u32::from_le_bytes(len_buf) as usize;
+            bytes.resize(n, 0);
+            reader.read_exact(&mut bytes).expect("read spill state");
+            out.push(ts.decode_state(&bytes).expect("decode spilled state"));
+        }
+    }
+}
+
+impl Drop for DiskLevel {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Streams a level's states to a spill file during the drain.
+struct DiskWriter {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    len: usize,
+    block_offsets: Vec<u64>,
+    bytes: u64,
+    first_id: u32,
+    scratch: Vec<u8>,
+}
+
+impl DiskWriter {
+    fn create() -> std::io::Result<DiskWriter> {
+        let path = std::env::temp_dir().join(format!(
+            "mc-spill-{}-{}.bin",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = File::create(&path)?;
+        Ok(DiskWriter {
+            writer: BufWriter::new(file),
+            path,
+            len: 0,
+            block_offsets: Vec::new(),
+            bytes: 0,
+            first_id: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    fn push<TS: TransitionSystem>(&mut self, ts: &TS, id: u32, state: &TS::State) {
+        if self.len == 0 {
+            self.first_id = id;
+        }
+        debug_assert_eq!(id, self.first_id + self.len as u32);
+        if self.len.is_multiple_of(BLOCK) {
+            self.block_offsets.push(self.bytes);
+        }
+        self.scratch.clear();
+        assert!(
+            ts.encode_state(state, &mut self.scratch),
+            "encode_state failed mid-spill"
+        );
+        let n = u32::try_from(self.scratch.len()).expect("state encoding fits u32");
+        self.writer
+            .write_all(&n.to_le_bytes())
+            .and_then(|()| self.writer.write_all(&self.scratch))
+            .expect("write spill file");
+        self.bytes += 4 + u64::from(n);
+        self.len += 1;
+    }
+
+    fn finish(mut self) -> DiskLevel {
+        self.writer.flush().expect("flush spill file");
+        DiskLevel {
+            path: std::mem::take(&mut self.path),
+            len: self.len,
+            block_offsets: std::mem::take(&mut self.block_offsets),
+            first_id: self.first_id,
+        }
+    }
+}
+
+impl Drop for DiskWriter {
+    /// A writer abandoned mid-drain (verdict reached before the level
+    /// completed) removes its file; `finish` empties the path first.
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
 pub(crate) fn run<TS>(
     config: &CheckerConfig,
     properties: &[Property<TS::State>],
@@ -201,110 +389,189 @@ where
     }
 }
 
-/// Expands one worker's share of the frontier, claiming successors into
-/// the sharded pending tables.
-#[allow(clippy::too_many_arguments)]
-fn expand_blocks<TS, M>(
-    mode: &M,
-    ts: &TS,
-    properties: &[Property<TS::State>],
-    frontier: &[(u32, TS::State)],
-    cursor: &AtomicUsize,
-    shards: &[Mutex<Shard<M::Key, TS>>],
-    violations: &Mutex<Vec<(M::Key, &'static str)>>,
+/// Everything a worker needs to expand one frontier state; bundled so the
+/// in-memory and spilled frontier paths share one expansion body.
+struct ExpandCtx<'a, TS: TransitionSystem, M: Mode<TS>> {
+    mode: &'a M,
+    ts: &'a TS,
+    properties: &'a [Property<TS::State>],
+    shards: &'a [Mutex<Shard<M::Key, TS>>],
+    violations: &'a Mutex<Vec<(M::Key, &'static str)>>,
+    reduction: Reduction,
     expanding: bool,
     forbid_deadlock: bool,
     deadline: Option<Instant>,
-    stop: &AtomicBool,
+    stop: &'a AtomicBool,
+}
+
+impl<TS: TransitionSystem, M: Mode<TS>> ExpandCtx<'_, TS, M> {
+    /// Expands one frontier state into the sharded pending tables,
+    /// applying the configured reductions. Returns `false` when the worker
+    /// should stop (deadline hit or another worker signalled stop).
+    fn expand_one(
+        &self,
+        pos: usize,
+        parent_id: u32,
+        state: &TS::State,
+        scratch: &mut Vec<(TS::Action, TS::State)>,
+        out: &mut WorkerOut,
+    ) -> bool {
+        if self.stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.stop.store(true, Ordering::Relaxed);
+                return false;
+            }
+        }
+        let canon = self.reduction.symmetry || self.reduction.sb_canon;
+        scratch.clear();
+        let reduced = if self.reduction.por {
+            self.ts
+                .ample_successors_into(state, &self.reduction, scratch)
+        } else {
+            self.ts.successors_into(state, scratch);
+            false
+        };
+        if canon {
+            for (_, succ) in scratch.iter_mut() {
+                *succ = self.ts.canonicalize(succ, &self.reduction);
+            }
+        }
+        if reduced {
+            // Cycle proviso (C3): the seen-set is frozen during the
+            // parallel phase, so this check is deterministic. If every
+            // ample successor was already visited, the ample set could
+            // close a cycle postponing the deferred actions forever —
+            // fall back to the full expansion.
+            let all_seen = !scratch.is_empty()
+                && scratch.iter().all(|(_, succ)| {
+                    let probe = self.mode.probe(succ);
+                    let shard = &self.shards[(M::route(probe) >> (64 - SHARD_BITS)) as usize];
+                    let guard = shard.lock().expect("shard lock");
+                    M::seen_contains(&guard.seen, probe, succ)
+                });
+            if all_seen {
+                scratch.clear();
+                self.ts.successors_into(state, scratch);
+                if canon {
+                    for (_, succ) in scratch.iter_mut() {
+                        *succ = self.ts.canonicalize(succ, &self.reduction);
+                    }
+                }
+            }
+        }
+        if scratch.is_empty() {
+            if self.forbid_deadlock {
+                min_pos(&mut out.deadlock, pos as u32);
+            }
+            return true;
+        }
+        if !self.expanding {
+            // At the depth bound states are not expanded (and, matching
+            // the sequential checker, their outgoing edges not counted);
+            // the first such state triggers `Bound::Depth` at drain.
+            min_pos(&mut out.cutoff, pos as u32);
+            return true;
+        }
+        for (ord, (action, succ)) in scratch.drain(..).enumerate() {
+            out.transitions += 1;
+            let probe = self.mode.probe(&succ);
+            let shard = &self.shards[(M::route(probe) >> (64 - SHARD_BITS)) as usize];
+            let order = pack(pos, ord);
+            {
+                let mut guard = shard.lock().expect("shard lock");
+                if M::seen_contains(&guard.seen, probe, &succ) {
+                    continue;
+                }
+                if let Some(p) = M::pending_mut(&mut guard.pending, probe, &succ) {
+                    if order < p.order {
+                        p.order = order;
+                        p.parent = parent_id;
+                        p.action = action;
+                    }
+                    continue;
+                }
+            }
+            // First discovery (so far) of this state: evaluate the
+            // properties outside the shard lock, then claim.
+            let violation = first_violation(self.properties, &succ);
+            let key = M::key(probe, &succ);
+            let claimed = {
+                let mut guard = shard.lock().expect("shard lock");
+                if let Some(p) = M::pending_mut(&mut guard.pending, probe, &succ) {
+                    // Another worker claimed it while we were checking
+                    // properties; keep the smaller discovery order.
+                    if order < p.order {
+                        p.order = order;
+                        p.parent = parent_id;
+                        p.action = action;
+                    }
+                    false
+                } else {
+                    guard.pending.insert(
+                        key.clone(),
+                        Pending {
+                            order,
+                            parent: parent_id,
+                            action,
+                            state: succ,
+                        },
+                    );
+                    true
+                }
+            };
+            if claimed {
+                if let Some(name) = violation {
+                    self.violations
+                        .lock()
+                        .expect("violations lock")
+                        .push((key, name));
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Expands one worker's share of the frontier, claiming successors into
+/// the sharded pending tables. A single scratch buffer serves every state
+/// this worker expands.
+fn expand_blocks<TS, M>(
+    ctx: &ExpandCtx<'_, TS, M>,
+    frontier: &Frontier<TS>,
+    cursor: &AtomicUsize,
 ) -> WorkerOut
 where
     TS: TransitionSystem,
     M: Mode<TS>,
 {
     let mut out = WorkerOut::default();
+    let mut scratch: Vec<(TS::Action, TS::State)> = Vec::new();
+    let mut disk_buf: Vec<TS::State> = Vec::new();
     'grab: loop {
         let start = cursor.fetch_add(BLOCK, Ordering::Relaxed);
         if start >= frontier.len() {
             break;
         }
         let end = (start + BLOCK).min(frontier.len());
-        for (pos, (parent_id, state)) in frontier.iter().enumerate().take(end).skip(start) {
-            if stop.load(Ordering::Relaxed) {
-                break 'grab;
-            }
-            if let Some(deadline) = deadline {
-                if Instant::now() >= deadline {
-                    stop.store(true, Ordering::Relaxed);
-                    break 'grab;
-                }
-            }
-            let succs = ts.successors(state);
-            if succs.is_empty() {
-                if forbid_deadlock {
-                    min_pos(&mut out.deadlock, pos as u32);
-                }
-                continue;
-            }
-            if !expanding {
-                // At the depth bound states are not expanded (and, matching
-                // the sequential checker, their outgoing edges not counted);
-                // the first such state triggers `Bound::Depth` at drain.
-                min_pos(&mut out.cutoff, pos as u32);
-                continue;
-            }
-            for (ord, (action, succ)) in succs.into_iter().enumerate() {
-                out.transitions += 1;
-                let probe = mode.probe(&succ);
-                let shard = &shards[(M::route(probe) >> (64 - SHARD_BITS)) as usize];
-                let order = pack(pos, ord);
-                {
-                    let mut guard = shard.lock().expect("shard lock");
-                    if M::seen_contains(&guard.seen, probe, &succ) {
-                        continue;
-                    }
-                    if let Some(p) = M::pending_mut(&mut guard.pending, probe, &succ) {
-                        if order < p.order {
-                            p.order = order;
-                            p.parent = *parent_id;
-                            p.action = action;
-                        }
-                        continue;
+        match frontier {
+            Frontier::Mem(v) => {
+                for (pos, (parent_id, state)) in v.iter().enumerate().take(end).skip(start) {
+                    if !ctx.expand_one(pos, *parent_id, state, &mut scratch, &mut out) {
+                        break 'grab;
                     }
                 }
-                // First discovery (so far) of this state: evaluate the
-                // properties outside the shard lock, then claim.
-                let violation = first_violation(properties, &succ);
-                let key = M::key(probe, &succ);
-                let claimed = {
-                    let mut guard = shard.lock().expect("shard lock");
-                    if let Some(p) = M::pending_mut(&mut guard.pending, probe, &succ) {
-                        // Another worker claimed it while we were checking
-                        // properties; keep the smaller discovery order.
-                        if order < p.order {
-                            p.order = order;
-                            p.parent = *parent_id;
-                            p.action = action;
-                        }
-                        false
-                    } else {
-                        guard.pending.insert(
-                            key.clone(),
-                            Pending {
-                                order,
-                                parent: *parent_id,
-                                action,
-                                state: succ,
-                            },
-                        );
-                        true
-                    }
-                };
-                if claimed {
-                    if let Some(name) = violation {
-                        violations
-                            .lock()
-                            .expect("violations lock")
-                            .push((key, name));
+            }
+            Frontier::Disk(d) => {
+                disk_buf.clear();
+                d.read_block(ctx.ts, start, end, &mut disk_buf);
+                for (i, state) in disk_buf.iter().enumerate() {
+                    let pos = start + i;
+                    let parent_id = d.first_id + pos as u32;
+                    if !ctx.expand_one(pos, parent_id, state, &mut scratch, &mut out) {
+                        break 'grab;
                     }
                 }
             }
@@ -326,6 +593,7 @@ where
 {
     let start = Instant::now();
     let deadline = config.time_limit.map(|limit| start + limit);
+    let canon = config.reduction.symmetry || config.reduction.sb_canon;
 
     let mut shards: Vec<Mutex<Shard<M::Key, TS>>> =
         (0..NSHARDS).map(|_| Mutex::new(Shard::default())).collect();
@@ -334,9 +602,14 @@ where
     let mut states_count: usize = 0;
     let mut transitions: usize = 0;
 
-    // Seed level 0 with the deduplicated initial states.
-    let mut frontier: Vec<(u32, TS::State)> = Vec::new();
+    // Seed level 0 with the deduplicated (canonical) initial states.
+    let mut seed: Vec<(u32, TS::State)> = Vec::new();
     for init in ts.initial_states() {
+        let init = if canon {
+            ts.canonicalize(&init, &config.reduction)
+        } else {
+            init
+        };
         let probe = mode.probe(&init);
         let shard = shards[(M::route(probe) >> (64 - SHARD_BITS)) as usize]
             .get_mut()
@@ -348,11 +621,11 @@ where
         let id = states_count as u32;
         parents.push(None);
         states_count += 1;
-        frontier.push((id, init));
+        seed.push((id, init));
     }
 
     // Check properties on initial states.
-    for (id, state) in &frontier {
+    for (id, state) in &seed {
         if let Some(property) = first_violation(properties, state) {
             return Outcome::Violated {
                 property,
@@ -365,6 +638,7 @@ where
             };
         }
     }
+    let mut frontier: Frontier<TS> = Frontier::Mem(seed);
 
     let mut level: usize = 0;
     let mut deepest: usize = 0;
@@ -388,41 +662,25 @@ where
         let cursor = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         let violations: Mutex<Vec<(M::Key, &'static str)>> = Mutex::new(Vec::new());
+        let ctx = ExpandCtx {
+            mode,
+            ts,
+            properties,
+            shards: &shards,
+            violations: &violations,
+            reduction: config.reduction,
+            expanding,
+            forbid_deadlock: config.forbid_deadlock,
+            deadline,
+            stop: &stop,
+        };
         let workers = threads.min(frontier.len().div_ceil(BLOCK)).max(1);
         let outs: Vec<WorkerOut> = if workers == 1 {
-            vec![expand_blocks(
-                mode,
-                ts,
-                properties,
-                &frontier,
-                &cursor,
-                &shards,
-                &violations,
-                expanding,
-                config.forbid_deadlock,
-                deadline,
-                &stop,
-            )]
+            vec![expand_blocks(&ctx, &frontier, &cursor)]
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            expand_blocks(
-                                mode,
-                                ts,
-                                properties,
-                                &frontier,
-                                &cursor,
-                                &shards,
-                                &violations,
-                                expanding,
-                                config.forbid_deadlock,
-                                deadline,
-                                &stop,
-                            )
-                        })
-                    })
+                    .map(|_| scope.spawn(|| expand_blocks(&ctx, &frontier, &cursor)))
                     .collect();
                 handles
                     .into_iter()
@@ -469,16 +727,30 @@ where
         }
         entries.sort_unstable_by_key(|(_, _, p)| p.order);
 
-        let mut next: Vec<(u32, TS::State)> = Vec::with_capacity(entries.len());
+        // Spill the next level when it exceeds the threshold and the
+        // system has a codec (probed on the first entry; systems without
+        // one keep frontiers in memory).
+        let spill = config.spill_threshold.is_some_and(|t| entries.len() > t)
+            && entries.first().is_some_and(|(_, _, p)| {
+                let mut probe_bytes = Vec::new();
+                ts.encode_state(&p.state, &mut probe_bytes)
+            });
+        let mut next_mem: Vec<(u32, TS::State)> = Vec::new();
+        let mut next_disk: Option<DiskWriter> = if spill {
+            Some(DiskWriter::create().expect("create spill file"))
+        } else {
+            next_mem.reserve(entries.len());
+            None
+        };
         for (shard_idx, key, pending) in entries {
             // Sequential semantics: a deadlocked state is reported when the
             // scan reaches its frontier position — after the insertions of
             // every earlier position, before those of later ones.
             if let Some(dpos) = deadlock {
                 if dpos < (pending.order >> 32) as u32 {
-                    let (id, state) = &frontier[dpos as usize];
+                    let (id, state) = frontier.fetch(ts, dpos as usize);
                     return Outcome::Deadlock {
-                        trace: rebuild_trace(&parents, *id, state.clone()),
+                        trace: rebuild_trace(&parents, id, state),
                         stats: Stats {
                             states: states_count,
                             transitions,
@@ -516,15 +788,18 @@ where
                 .expect("shard lock")
                 .seen
                 .insert(key);
-            next.push((id, pending.state));
+            match &mut next_disk {
+                Some(w) => w.push(ts, id, &pending.state),
+                None => next_mem.push((id, pending.state)),
+            }
         }
 
         // Deadlock / depth-bound events past the last insertion.
         match (deadlock, cutoff) {
             (Some(dpos), cpos) if cpos.is_none_or(|c| dpos < c) => {
-                let (id, state) = &frontier[dpos as usize];
+                let (id, state) = frontier.fetch(ts, dpos as usize);
                 return Outcome::Deadlock {
-                    trace: rebuild_trace(&parents, *id, state.clone()),
+                    trace: rebuild_trace(&parents, id, state),
                     stats: Stats {
                         states: states_count,
                         transitions,
@@ -550,9 +825,10 @@ where
         // deterministic-drain guarantee is untouched.
         #[cfg(feature = "trace")]
         {
+            let discovered = next_disk.as_ref().map_or(next_mem.len(), |w| w.len) as u64;
             gc_trace::emit(gc_trace::EventKind::LevelEnd {
                 level: level as u32,
-                discovered: next.len() as u64,
+                discovered,
                 states_total: states_count as u64,
             });
             let mut occ_max = 0u64;
@@ -568,7 +844,10 @@ where
             });
         }
 
-        frontier = next;
+        frontier = match next_disk {
+            Some(w) => Frontier::Disk(w.finish()),
+            None => Frontier::Mem(next_mem),
+        };
         level += 1;
     }
 }

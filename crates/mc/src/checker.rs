@@ -66,6 +66,20 @@ impl<S> Checker<S> {
     /// search whose state counts, verdicts and (shortest) counterexample
     /// traces are identical for every thread count; with
     /// [`Strategy::RandomWalk`] it is a single seeded walk.
+    ///
+    /// When [`CheckerConfig::reduction`] enables reductions and the
+    /// reduced BFS finds a violation or deadlock, the checker transparently
+    /// re-runs *without* reductions, depth-bounded by the reduced
+    /// counterexample's depth. The reduced search has already proved a
+    /// violation exists at depth ≤ d, so the bounded unreduced re-run
+    /// terminates at the true shortest violation level and its outcome —
+    /// trace, stats and all — is byte-identical to a full unreduced run.
+    /// Reduced exploration thus changes *state counts on verified runs*
+    /// only, never a verdict or a reported counterexample. Should the
+    /// re-run not reproduce the failure (possible only if a property
+    /// discriminates within an equivalence class the enabled reductions
+    /// collapse, which the soundness contract forbids), the reduced
+    /// outcome is returned as-is.
     pub fn run<TS>(&self, ts: &TS) -> Outcome<TS>
     where
         TS: TransitionSystem<State = S>,
@@ -77,12 +91,28 @@ impl<S> Checker<S> {
             }
         }
         match self.strategy {
-            Strategy::Bfs { threads } => bfs::run(
-                &self.config,
-                &self.properties,
-                ts,
-                Strategy::effective_threads(threads),
-            ),
+            Strategy::Bfs { threads } => {
+                let threads = Strategy::effective_threads(threads);
+                let outcome = bfs::run(&self.config, &self.properties, ts, threads);
+                if self.config.reduction.any() {
+                    let depth = match &outcome {
+                        Outcome::Violated { stats, .. } | Outcome::Deadlock { stats, .. } => {
+                            Some(stats.depth)
+                        }
+                        _ => None,
+                    };
+                    if let Some(depth) = depth {
+                        let mut replay_config = self.config.clone();
+                        replay_config.reduction = crate::Reduction::default();
+                        replay_config.max_depth = replay_config.max_depth.min(depth);
+                        let replay = bfs::run(&replay_config, &self.properties, ts, threads);
+                        if matches!(replay, Outcome::Violated { .. } | Outcome::Deadlock { .. }) {
+                            return replay;
+                        }
+                    }
+                }
+                outcome
+            }
             Strategy::RandomWalk { steps, seed } => walk::run(&self.properties, ts, steps, seed),
         }
     }

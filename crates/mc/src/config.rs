@@ -15,6 +15,76 @@ use crate::outcome::PrecheckDiagnostic;
 /// from), keeping `mc` free of any dependency on the analyzer crate.
 pub type Precheck = Arc<dyn Fn() -> Vec<PrecheckDiagnostic> + Send + Sync>;
 
+/// Which state-space reductions the checker applies between the transition
+/// system and the BFS engine. All default to off; each is independently
+/// toggleable so equivalence and per-technique savings stay measurable.
+///
+/// The reductions are *requests*: a transition system opts in by
+/// implementing the corresponding [`TransitionSystem`](crate::TransitionSystem)
+/// hooks ([`ample_successors_into`](crate::TransitionSystem::ample_successors_into),
+/// [`canonicalize`](crate::TransitionSystem::canonicalize)). The default
+/// hook implementations ignore every flag, so enabling reductions on a
+/// system that has not opted in is a no-op, never an unsoundness.
+///
+/// ```
+/// use mc::Reduction;
+///
+/// assert!(!Reduction::default().any());
+/// assert!(Reduction::all().any());
+/// assert_eq!(Reduction { por: true, ..Reduction::default() }.label(), "por");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Reduction {
+    /// Partial-order reduction: expand only an *ample* subset of enabled
+    /// steps when the system can prove the subset sound (independent,
+    /// invisible to all properties, cycle-safe).
+    pub por: bool,
+    /// Symmetry reduction: store the canonical representative of each
+    /// state's orbit under a symmetry group (e.g. mutator-identity
+    /// permutation), so symmetric states dedup to one.
+    pub symmetry: bool,
+    /// Store-buffer canonicalization: normalize pending-write buffers
+    /// (coalescing adjacent duplicate writes) so observationally
+    /// equivalent buffers hash identically.
+    pub sb_canon: bool,
+}
+
+impl Reduction {
+    /// Every reduction enabled.
+    pub fn all() -> Self {
+        Reduction {
+            por: true,
+            symmetry: true,
+            sb_canon: true,
+        }
+    }
+
+    /// True when at least one reduction is enabled.
+    pub fn any(&self) -> bool {
+        self.por || self.symmetry || self.sb_canon
+    }
+
+    /// A compact `+`-joined label of the enabled reductions (`"none"` when
+    /// all are off), for benches and reports.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.por {
+            parts.push("por");
+        }
+        if self.symmetry {
+            parts.push("symmetry");
+        }
+        if self.sb_canon {
+            parts.push("sb_canon");
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
 /// Bounds and dedup mode for a [`Checker`](crate::Checker) run.
 ///
 /// Construct with struct-update syntax over [`Default`]:
@@ -53,6 +123,28 @@ pub struct CheckerConfig {
     /// before exploration and any diagnostic it reports short-circuits the
     /// run into [`Outcome::PrecheckFailed`](crate::Outcome::PrecheckFailed).
     pub static_precheck: Option<Precheck>,
+    /// Which state-space reductions to request from the transition system
+    /// (see [`Reduction`]). Defaults to none.
+    pub reduction: Reduction,
+    /// Spill BFS frontier levels larger than this many states to
+    /// length-prefixed temporary files instead of holding them in memory,
+    /// so level queues stop being memory-bound. Requires the transition
+    /// system to implement
+    /// [`encode_state`](crate::TransitionSystem::encode_state) /
+    /// [`decode_state`](crate::TransitionSystem::decode_state); systems
+    /// without a codec keep frontiers in memory regardless. `None`
+    /// (default) never spills.
+    pub spill_threshold: Option<usize>,
+}
+
+impl CheckerConfig {
+    /// Returns `self` with the given reductions enabled — the builder form
+    /// used by callers that start from [`Default`].
+    #[must_use]
+    pub fn reduction(mut self, reduction: Reduction) -> Self {
+        self.reduction = reduction;
+        self
+    }
 }
 
 impl fmt::Debug for CheckerConfig {
@@ -67,6 +159,8 @@ impl fmt::Debug for CheckerConfig {
                 "static_precheck",
                 &self.static_precheck.as_ref().map(|_| "<fn>"),
             )
+            .field("reduction", &self.reduction)
+            .field("spill_threshold", &self.spill_threshold)
             .finish()
     }
 }
@@ -85,6 +179,8 @@ impl PartialEq for CheckerConfig {
             && self.time_limit == other.time_limit
             && self.forbid_deadlock == other.forbid_deadlock
             && self.hash_compact == other.hash_compact
+            && self.reduction == other.reduction
+            && self.spill_threshold == other.spill_threshold
             && precheck_eq
     }
 }
@@ -102,6 +198,8 @@ impl Default for CheckerConfig {
             forbid_deadlock: false,
             hash_compact: false,
             static_precheck: None,
+            reduction: Reduction::default(),
+            spill_threshold: None,
         }
     }
 }

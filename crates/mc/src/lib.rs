@@ -74,7 +74,7 @@ mod walk;
 use std::hash::Hash;
 
 pub use checker::Checker;
-pub use config::{CheckerConfig, Precheck, Strategy};
+pub use config::{CheckerConfig, Precheck, Reduction, Strategy};
 pub use hash::FxHasher;
 pub use outcome::{Bound, Outcome, PrecheckDiagnostic, Stats, Trace};
 pub use property::Property;
@@ -97,6 +97,70 @@ pub trait TransitionSystem: Sync {
 
     /// All `(action, successor)` pairs of `state`.
     fn successors(&self, state: &Self::State) -> Vec<(Self::Action, Self::State)>;
+
+    /// Appends all `(action, successor)` pairs of `state` to `out`.
+    ///
+    /// The engines call this form with a per-worker scratch buffer so the
+    /// hot successor path allocates no fresh `Vec` per state. The default
+    /// delegates to [`successors`](TransitionSystem::successors); systems
+    /// with hot paths should override it and implement `successors` in
+    /// terms of it.
+    fn successors_into(&self, state: &Self::State, out: &mut Vec<(Self::Action, Self::State)>) {
+        out.extend(self.successors(state));
+    }
+
+    /// Appends a sound *ample subset* of `state`'s successors to `out`,
+    /// returning `true` when a genuine reduction was applied (`out` holds a
+    /// strict, provably sufficient subset) and `false` when the system
+    /// cannot prove one here (in which case `out` must hold the full
+    /// successor list, exactly as
+    /// [`successors_into`](TransitionSystem::successors_into) would).
+    ///
+    /// Called only when [`Reduction::por`] is requested. Implementations
+    /// are responsible for the classic ample-set conditions *except* the
+    /// cycle proviso (C3), which the BFS engine enforces: when this returns
+    /// `true` but every ample successor is already in the seen-set, the
+    /// engine falls back to the full expansion. The default never reduces.
+    fn ample_successors_into(
+        &self,
+        state: &Self::State,
+        reduction: &Reduction,
+        out: &mut Vec<(Self::Action, Self::State)>,
+    ) -> bool {
+        let _ = reduction;
+        self.successors_into(state, out);
+        false
+    }
+
+    /// Maps `state` to the canonical representative of its equivalence
+    /// class under the reductions enabled in `reduction` (symmetry orbits,
+    /// store-buffer normal forms). Duplicate detection, property checks and
+    /// trace states all use the canonical form, so every property must be
+    /// invariant on each equivalence class the implementation collapses.
+    /// The default is the identity.
+    fn canonicalize(&self, state: &Self::State, reduction: &Reduction) -> Self::State {
+        let _ = reduction;
+        state.clone()
+    }
+
+    /// Serializes `state` into `bytes`, returning `true` on success. A
+    /// working codec (with [`decode_state`](TransitionSystem::decode_state))
+    /// lets the BFS spill oversized frontier levels to disk
+    /// ([`CheckerConfig::spill_threshold`]). Encoding must be
+    /// deterministic: equal states produce equal bytes. The default
+    /// supports no codec and returns `false`.
+    fn encode_state(&self, state: &Self::State, bytes: &mut Vec<u8>) -> bool {
+        let _ = (state, bytes);
+        false
+    }
+
+    /// Deserializes a state previously produced by
+    /// [`encode_state`](TransitionSystem::encode_state). Returns `None` on
+    /// malformed input. The default supports no codec.
+    fn decode_state(&self, bytes: &[u8]) -> Option<Self::State> {
+        let _ = bytes;
+        None
+    }
 }
 
 #[cfg(test)]

@@ -455,6 +455,279 @@ fn clean_precheck_proceeds_to_exploration() {
     assert_eq!(out.stats().states, 7);
 }
 
+// --- Reductions and disk spill ------------------------------------------
+
+/// `Mesh` with a state codec, so frontier levels can spill to disk.
+struct CodecMesh(Mesh);
+
+impl TransitionSystem for CodecMesh {
+    type State = (u16, u16);
+    type Action = u16;
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        self.0.initial_states()
+    }
+
+    fn successors(&self, s: &Self::State) -> Vec<(u16, Self::State)> {
+        self.0.successors(s)
+    }
+
+    fn encode_state(&self, s: &Self::State, bytes: &mut Vec<u8>) -> bool {
+        bytes.extend_from_slice(&s.0.to_le_bytes());
+        bytes.extend_from_slice(&s.1.to_le_bytes());
+        true
+    }
+
+    fn decode_state(&self, bytes: &[u8]) -> Option<Self::State> {
+        if bytes.len() != 4 {
+            return None;
+        }
+        Some((
+            u16::from_le_bytes([bytes[0], bytes[1]]),
+            u16::from_le_bytes([bytes[2], bytes[3]]),
+        ))
+    }
+}
+
+#[test]
+fn disk_spill_agrees_with_in_memory_frontiers() {
+    let mesh = || {
+        CodecMesh(Mesh {
+            depth: 40,
+            width: 500,
+        })
+    };
+    let spilled_cfg = CheckerConfig {
+        spill_threshold: Some(8),
+        ..CheckerConfig::default()
+    };
+    let baseline = Checker::new().run(&mesh()).stats();
+    for threads in [1, 4] {
+        let stats = Checker::with_config(spilled_cfg.clone())
+            .strategy(Strategy::Bfs { threads })
+            .run(&mesh())
+            .stats();
+        assert_eq!(stats, baseline, "spilled threads={threads}");
+    }
+    // Violation traces survive the disk round-trip bit-for-bit.
+    let violated = |cfg: CheckerConfig, threads| {
+        Checker::with_config(cfg)
+            .strategy(Strategy::Bfs { threads })
+            .property(Property::new("never-123", |s: &(u16, u16)| s.1 != 123))
+            .run(&mesh())
+    };
+    let base = violated(CheckerConfig::default(), 1);
+    for threads in [1, 4] {
+        let out = violated(spilled_cfg.clone(), threads);
+        assert_eq!(out.stats(), base.stats());
+        assert_eq!(out.trace().unwrap().actions, base.trace().unwrap().actions);
+        assert_eq!(out.trace().unwrap().state, base.trace().unwrap().state);
+    }
+}
+
+#[test]
+fn disk_spill_reports_deadlocks_from_spilled_frontiers() {
+    let mesh = CodecMesh(Mesh {
+        depth: 12,
+        width: 300,
+    });
+    let run = |spill| {
+        Checker::with_config(CheckerConfig {
+            forbid_deadlock: true,
+            spill_threshold: spill,
+            ..CheckerConfig::default()
+        })
+        .run(&mesh)
+    };
+    match (run(None), run(Some(4))) {
+        (
+            Outcome::Deadlock {
+                trace: t1,
+                stats: s1,
+            },
+            Outcome::Deadlock {
+                trace: t2,
+                stats: s2,
+            },
+        ) => {
+            assert_eq!(t1.actions, t2.actions);
+            assert_eq!(t1.state, t2.state);
+            assert_eq!(s1, s2);
+        }
+        _ => panic!("expected deadlock with and without spill"),
+    }
+}
+
+#[test]
+fn spill_threshold_without_codec_is_a_noop() {
+    let mesh = Mesh {
+        depth: 20,
+        width: 200,
+    };
+    let spilled = Checker::with_config(CheckerConfig {
+        spill_threshold: Some(1),
+        ..CheckerConfig::default()
+    })
+    .run(&mesh)
+    .stats();
+    assert_eq!(spilled, Checker::new().run(&mesh).stats());
+}
+
+/// Two symmetric processes counting to `cap`: states `(a, b)` and
+/// `(b, a)` are behaviourally equivalent, and all steps are independent.
+/// Used to exercise the symmetry-canonicalization and ample-set hooks.
+struct TwinCounters {
+    cap: u8,
+}
+
+impl TransitionSystem for TwinCounters {
+    type State = (u8, u8);
+    type Action = &'static str;
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        vec![(0, 0)]
+    }
+
+    fn successors(&self, s: &Self::State) -> Vec<(&'static str, Self::State)> {
+        let mut out = Vec::new();
+        self.successors_into(s, &mut out);
+        out
+    }
+
+    fn successors_into(&self, s: &Self::State, out: &mut Vec<(&'static str, Self::State)>) {
+        if s.0 < self.cap {
+            out.push(("inc0", (s.0 + 1, s.1)));
+        }
+        if s.1 < self.cap {
+            out.push(("inc1", (s.0, s.1 + 1)));
+        }
+    }
+
+    fn ample_successors_into(
+        &self,
+        s: &Self::State,
+        reduction: &Reduction,
+        out: &mut Vec<(&'static str, Self::State)>,
+    ) -> bool {
+        debug_assert!(reduction.por);
+        // Both increments are independent and invisible to the sum-based
+        // properties below, so expanding just the first enabled one is a
+        // sound ample set.
+        if s.0 < self.cap {
+            out.push(("inc0", (s.0 + 1, s.1)));
+            return true;
+        }
+        self.successors_into(s, out);
+        false
+    }
+
+    fn canonicalize(&self, s: &Self::State, reduction: &Reduction) -> Self::State {
+        if reduction.symmetry && s.0 > s.1 {
+            (s.1, s.0)
+        } else {
+            *s
+        }
+    }
+}
+
+#[test]
+fn reduction_flags_compose_and_label() {
+    assert!(!Reduction::default().any());
+    assert!(Reduction::all().any());
+    assert_eq!(Reduction::default().label(), "none");
+    assert_eq!(Reduction::all().label(), "por+symmetry+sb_canon");
+    let sym = Reduction {
+        symmetry: true,
+        ..Reduction::default()
+    };
+    assert_eq!(sym.label(), "symmetry");
+    // Config equality and the builder include the new fields.
+    let cfg = CheckerConfig::default().reduction(sym);
+    assert_ne!(cfg, CheckerConfig::default());
+    assert_eq!(cfg.reduction, sym);
+}
+
+#[test]
+fn symmetry_reduction_shrinks_verified_state_counts() {
+    let ts = TwinCounters { cap: 9 };
+    let full = Checker::new().run(&ts).stats();
+    let reduced = Checker::with_config(CheckerConfig::default().reduction(Reduction {
+        symmetry: true,
+        ..Reduction::default()
+    }))
+    .run(&ts)
+    .stats();
+    // 10×10 grid vs its upper triangle (including the diagonal).
+    assert_eq!(full.states, 100);
+    assert_eq!(reduced.states, 55);
+}
+
+#[test]
+fn por_shrinks_verified_state_counts() {
+    let ts = TwinCounters { cap: 9 };
+    let full = Checker::new().run(&ts).stats();
+    let reduced = Checker::with_config(CheckerConfig::default().reduction(Reduction {
+        por: true,
+        ..Reduction::default()
+    }))
+    .run(&ts)
+    .stats();
+    assert!(
+        reduced.states < full.states,
+        "ample sets must prune: {} vs {}",
+        reduced.states,
+        full.states
+    );
+}
+
+#[test]
+fn reduced_violations_replay_to_byte_identical_counterexamples() {
+    let ts = TwinCounters { cap: 9 };
+    let check = |reduction| {
+        Checker::with_config(CheckerConfig::default().reduction(reduction))
+            .property(Property::new("sum-below-7", |s: &(u8, u8)| {
+                usize::from(s.0) + usize::from(s.1) < 7
+            }))
+            .run(&ts)
+    };
+    let base = check(Reduction::default());
+    assert!(base.is_violated());
+    for reduction in [
+        Reduction {
+            por: true,
+            ..Reduction::default()
+        },
+        Reduction {
+            symmetry: true,
+            ..Reduction::default()
+        },
+        Reduction {
+            por: true,
+            symmetry: true,
+            ..Reduction::default()
+        },
+    ] {
+        let out = check(reduction);
+        assert!(out.is_violated(), "{}", reduction.label());
+        assert_eq!(out.stats(), base.stats(), "{}", reduction.label());
+        assert_eq!(
+            out.trace().unwrap().actions,
+            base.trace().unwrap().actions,
+            "{}",
+            reduction.label()
+        );
+        assert_eq!(out.trace().unwrap().state, base.trace().unwrap().state);
+    }
+}
+
+#[test]
+fn reductions_on_a_system_without_hooks_are_noops() {
+    let ring = Ring { n: 3, max_hops: 6 };
+    let out = Checker::with_config(CheckerConfig::default().reduction(Reduction::all())).run(&ring);
+    assert!(out.is_verified());
+    assert_eq!(out.stats().states, 7);
+}
+
 #[test]
 fn config_equality_is_precheck_identity() {
     let pre: Precheck = std::sync::Arc::new(Vec::new);

@@ -46,6 +46,8 @@ where
     let pick = rng.next_u64() as usize % inits.len();
     let mut state = inits.into_iter().nth(pick).expect("picked in range");
     let mut actions: Vec<TS::Action> = Vec::new();
+    // One scratch buffer serves the whole walk (no per-step allocation).
+    let mut succs: Vec<(TS::Action, TS::State)> = Vec::new();
 
     loop {
         let steps = actions.len();
@@ -67,7 +69,8 @@ where
                 stats,
             };
         }
-        let succs = ts.successors(&state);
+        succs.clear();
+        ts.successors_into(&state, &mut succs);
         if succs.is_empty() {
             return Outcome::Deadlock {
                 trace: Trace { actions, state },
@@ -75,7 +78,7 @@ where
             };
         }
         let pick = rng.next_u64() as usize % succs.len();
-        let (action, next) = succs.into_iter().nth(pick).expect("picked in range");
+        let (action, next) = succs.swap_remove(pick);
         actions.push(action);
         state = next;
     }

@@ -52,12 +52,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod config;
 pub mod gc;
 pub mod invariants;
 pub mod mark;
 pub mod model;
 pub mod mutator;
+pub mod reduction;
 pub mod state;
 pub mod sys;
 pub mod view;

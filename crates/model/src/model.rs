@@ -1,8 +1,8 @@
 //! Assembly of the full model: `GC ∥ M₁ ∥ … ∥ M_n ∥ Sys`, wrapped as an
 //! [`mc::TransitionSystem`] so the explicit-state checker can explore it.
 
-use cimp::{Event, System, SystemState};
-use mc::TransitionSystem;
+use cimp::{Event, Stack, System, SystemState};
+use mc::{Reduction, TransitionSystem};
 
 use crate::config::ModelConfig;
 use crate::gc::gc_program;
@@ -10,6 +10,7 @@ use crate::mutator::{initial_mut_state, mutator_program};
 use crate::state::{GcState, Local};
 use crate::sys::{initial_sys_state, sys_program};
 use crate::vocab::{Req, Resp};
+use crate::{codec, reduction};
 
 /// The process names in index order: `gc`, `mut0`, …, `sys`.
 pub const GC_PROC: usize = 0;
@@ -21,6 +22,12 @@ pub const GC_PROC: usize = 0;
 pub struct GcModel {
     cfg: ModelConfig,
     system: System<Local, Req, Resp>,
+    /// Whether the configuration is invariant under mutator permutation:
+    /// at least two mutators, all running the same program (always true —
+    /// `mutator_program` ignores the index) from identical initial root
+    /// sets. Symmetry reduction is requested per-run via
+    /// [`mc::Reduction::symmetry`] but only honoured when this holds.
+    symmetric: bool,
 }
 
 impl std::fmt::Debug for GcModel {
@@ -57,10 +64,17 @@ impl GcModel {
             sys_program(&cfg),
             Local::Sys(initial_sys_state(&cfg)),
         ));
+        let symmetric = cfg.mutators >= 2 && cfg.initial.roots.windows(2).all(|w| w[0] == w[1]);
         GcModel {
             system: System::new(procs),
             cfg,
+            symmetric,
         }
+    }
+
+    /// Whether the configuration admits mutator-symmetry reduction.
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
     }
 
     /// The model's configuration.
@@ -124,6 +138,56 @@ impl TransitionSystem for GcModel {
 
     fn successors(&self, state: &Self::State) -> Vec<(Self::Action, Self::State)> {
         self.system.successors(state)
+    }
+
+    fn successors_into(&self, state: &Self::State, out: &mut Vec<(Self::Action, Self::State)>) {
+        self.system.successors_into(state, out);
+    }
+
+    fn ample_successors_into(
+        &self,
+        state: &Self::State,
+        reduction: &Reduction,
+        out: &mut Vec<(Self::Action, Self::State)>,
+    ) -> bool {
+        self.system.successors_into(state, out);
+        if reduction.por {
+            reduction::ample_filter(self.system.len(), out)
+        } else {
+            false
+        }
+    }
+
+    fn canonicalize(&self, state: &Self::State, reduction: &Reduction) -> Self::State {
+        // Buffer canonicalization first: mutator permutation commutes with
+        // per-buffer coalescing, and comparing symmetry-orbit candidates
+        // on already-normalized buffers keeps the representative stable.
+        let mut state = if reduction.sb_canon {
+            let n = self.system.len();
+            let controls: Vec<Stack> = (0..n).map(|p| state.control(p).clone()).collect();
+            let mut locals = state.locals().to_vec();
+            locals[self.sys_proc()].sys_mut().mem.canonicalize_buffers();
+            SystemState::from_parts(controls, locals)
+        } else {
+            state.clone()
+        };
+        if reduction.symmetry && self.symmetric {
+            state = reduction::canonical_under_mutator_symmetry(
+                &state,
+                self.cfg.mutators,
+                self.sys_proc(),
+            );
+        }
+        state
+    }
+
+    fn encode_state(&self, state: &Self::State, bytes: &mut Vec<u8>) -> bool {
+        codec::encode(state, bytes);
+        true
+    }
+
+    fn decode_state(&self, bytes: &[u8]) -> Option<Self::State> {
+        codec::decode(bytes)
     }
 }
 

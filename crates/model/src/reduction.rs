@@ -1,0 +1,345 @@
+//! State-space reductions for the collector model.
+//!
+//! Three independent techniques, each toggleable through
+//! [`mc::Reduction`] and each preserving every verdict and every shortest
+//! counterexample the checker can report (see `DESIGN.md` §2.13 for the
+//! full soundness arguments):
+//!
+//! 1. **Partial-order reduction** ([`ample_filter`]). CIMP taus are pure
+//!    process-local steps — shared state is only ever touched through a
+//!    rendezvous with the system process — so every tau is independent of
+//!    every transition of every other process (condition C1 holds by
+//!    construction). The filter additionally demands *invisibility*
+//!    (condition C2): only taus whose labels appear in
+//!    [`CERTIFIED_INVISIBLE_TAUS`] — labels audited against every
+//!    invariant in `invariants.rs` and every view in `view.rs` — may form
+//!    an ample set. The cycle proviso (C3) is enforced by the BFS engine
+//!    itself: when all ample successors have been seen before, it falls
+//!    back to full expansion.
+//!
+//! 2. **Mutator symmetry** ([`canonical_under_mutator_symmetry`]). When
+//!    all mutators run the same program from the same initial roots, the
+//!    model is invariant under permuting mutator identity. Each state is
+//!    replaced by the lexicographically-least encoding in its orbit,
+//!    collapsing up to `K!` equivalent states into one. The permutation
+//!    is only applied at *handshake-quiescent* states
+//!    ([`symmetry_applicable`]): permuting mid-pend-loop would remap the
+//!    already-pended prefix and desynchronise the collector's pend
+//!    counter from the system's pending set.
+//!
+//! 3. **Store-buffer canonicalization** lives in
+//!    [`tso_model::Machine::canonicalize_buffers`] and is wired up by
+//!    [`GcModel::canonicalize`](crate::model::GcModel); only *adjacent
+//!    identical duplicate* stores are coalesced, which preserves the
+//!    exact sequence of distinct memory commits every other thread can
+//!    observe.
+
+use cimp::{Event, SystemState};
+
+use crate::codec;
+use crate::state::Local;
+use crate::vocab::{Req, Resp};
+use crate::{ModelEvent, ModelState};
+
+/// Tau labels certified invisible: no invariant in `invariants.rs` and no
+/// derived view in `view.rs` can distinguish the pre- and post-state of a
+/// step with one of these labels. Audited per label:
+///
+/// * `mut-store-prime-insertion` — latches `st_dst`/`st_src`/`st_fld`
+///   scratch; visible state (heap, memory, worklists) untouched.
+/// * `mut-hs-pick-root` — moves one ref between the private
+///   `roots_to_mark` scratch set and the marking pipeline's entry latch.
+/// * `mark-racy-claim` — records the CAS-winner decision in
+///   [`MarkScratch`](crate::state::MarkScratch); the memory effects of
+///   the claim travel through separate system rendezvous.
+/// * `gc-sweep-retain` — advances the sweep cursor past a live object
+///   without freeing anything.
+/// * `gc-pick-src` — latches the collector's scan cursor (`scan_src`,
+///   `scan_fld`); the picked reference *stays on the collector's
+///   work-list* until `gc-blacken`, so the grey set — the only derived
+///   quantity that could expose the cursor — is unchanged.
+pub const CERTIFIED_INVISIBLE_TAUS: [&str; 5] = [
+    "mut-store-prime-insertion",
+    "mut-hs-pick-root",
+    "mark-racy-claim",
+    "gc-sweep-retain",
+    "gc-pick-src",
+];
+
+/// Shrinks `succs` to an ample subset in place, returning `true` iff a
+/// *strict* reduction was applied.
+///
+/// The candidate ample set for process `p` is the set of `p`'s enabled
+/// transitions, admissible only when every one of them is a certified
+/// invisible tau. The lowest-indexed admissible process wins (a fixed
+/// choice keeps exploration deterministic across thread counts). Returns
+/// `false` — leaving `succs` untouched — when no process qualifies or
+/// when the ample set would not actually be smaller than the full set.
+pub fn ample_filter(nprocs: usize, succs: &mut Vec<(ModelEvent, ModelState)>) -> bool {
+    let mut certified = vec![0usize; nprocs];
+    let mut disqualified = vec![false; nprocs];
+    for (ev, _) in succs.iter() {
+        match ev {
+            Event::Tau { proc, label } if CERTIFIED_INVISIBLE_TAUS.contains(label) => {
+                certified[proc.0] += 1;
+            }
+            Event::Tau { proc, .. } => disqualified[proc.0] = true,
+            Event::Comm {
+                sender, receiver, ..
+            } => {
+                disqualified[sender.0] = true;
+                disqualified[receiver.0] = true;
+            }
+        }
+    }
+    let Some(p) = (0..nprocs).find(|&p| certified[p] > 0 && !disqualified[p]) else {
+        return false;
+    };
+    if certified[p] == succs.len() {
+        return false; // the ample set IS the full set: nothing gained
+    }
+    succs.retain(|(ev, _)| matches!(ev, Event::Tau { proc, .. } if proc.0 == p));
+    true
+}
+
+/// Whether mutator permutation is sound at `state`.
+///
+/// Permutation must commute with the handshake bookkeeping. Mid-pend-loop
+/// the system's `ghost_hs_flagged` is a proper non-empty prefix of trues
+/// (the set of mutators this round has already pended); permuting there
+/// would make the collector re-pend a flagged mutator and skip an
+/// unflagged one. Outside the loop the flags are uniform — all false
+/// right after `HsBegin` (nothing pended yet), all true once the loop
+/// finished (and in the initial state) — and no mutator is still pending,
+/// so any permutation maps the handshake bookkeeping onto itself.
+pub fn symmetry_applicable(state: &ModelState, sys_proc: usize) -> bool {
+    let sys = state.local(sys_proc).sys();
+    sys.hs_pending.iter().all(|&p| !p) && sys.ghost_hs_flagged.windows(2).all(|w| w[0] == w[1])
+}
+
+/// The canonical representative of `state`'s orbit under mutator
+/// permutation: the candidate with the lexicographically-least
+/// [`codec`] encoding. The identity permutation is always a candidate,
+/// so the result is a well-defined idempotent choice function over each
+/// orbit. States where permutation is not [applicable](symmetry_applicable)
+/// are returned unchanged (their orbit is taken to be the singleton).
+///
+/// Callers must only use this on *symmetric* configurations — identical
+/// programs and identical initial roots for every mutator —
+/// ([`GcModel`](crate::model::GcModel) gates on exactly that).
+pub fn canonical_under_mutator_symmetry(
+    state: &ModelState,
+    mutators: usize,
+    sys_proc: usize,
+) -> ModelState {
+    if mutators < 2 || !symmetry_applicable(state, sys_proc) {
+        return state.clone();
+    }
+    let mut best: Option<(Vec<u8>, ModelState)> = None;
+    let mut bytes = Vec::new();
+    for perm in permutations(mutators) {
+        let candidate = apply_perm(state, &perm, sys_proc);
+        bytes.clear();
+        codec::encode(&candidate, &mut bytes);
+        if best.as_ref().is_none_or(|(b, _)| bytes < *b) {
+            best = Some((bytes.clone(), candidate));
+        }
+    }
+    best.expect("at least the identity permutation").1
+}
+
+/// Applies mutator permutation `perm` (new index `i` takes old mutator
+/// `perm[i]`) to every identity-bearing piece of the state:
+///
+/// * mutator process `1 + i` receives old process `1 + perm[i]`'s control
+///   stack and local state, with the local `idx` rewritten to `i` (the
+///   `idx` is what the mutator puts in its request `tid`s);
+/// * the system's per-mutator `hs_pending` / `ghost_hs_flagged` rows are
+///   reindexed the same way;
+/// * the TSO machine's store buffers are permuted via
+///   [`tso_model::Machine::permute_threads`] (hardware thread `0` is the
+///   collector and stays put; thread `1 + i` is mutator `i`).
+fn apply_perm(state: &ModelState, perm: &[usize], sys_proc: usize) -> ModelState {
+    let k = perm.len();
+    let mut controls = Vec::with_capacity(sys_proc + 1);
+    let mut locals: Vec<Local> = Vec::with_capacity(sys_proc + 1);
+
+    controls.push(state.control(0).clone());
+    locals.push(state.local(0).clone());
+    for (i, &old) in perm.iter().enumerate() {
+        controls.push(state.control(1 + old).clone());
+        let mut l = state.local(1 + old).clone();
+        l.mutator_mut().idx = u8::try_from(i).expect("≤ 255 mutators");
+        locals.push(l);
+    }
+    controls.push(state.control(sys_proc).clone());
+    let old_sys = state.local(sys_proc).sys();
+    let mut sys = old_sys.clone();
+    sys.hs_pending = perm.iter().map(|&m| old_sys.hs_pending[m]).collect();
+    sys.ghost_hs_flagged = perm.iter().map(|&m| old_sys.ghost_hs_flagged[m]).collect();
+    // Machine::permute_threads takes map[new] = old.
+    let mut tmap = vec![0usize; 1 + k];
+    for (i, &m) in perm.iter().enumerate() {
+        tmap[1 + i] = 1 + m;
+    }
+    sys.mem.permute_threads(&tmap);
+    locals.push(Local::Sys(sys));
+
+    SystemState::from_parts(controls, locals)
+}
+
+/// All permutations of `0..k` (plain recursive generation; the model
+/// bounds `k` to a handful of mutators, so `k! ≤ 24` in practice).
+fn permutations(k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    let mut used = vec![false; k];
+    fn rec(k: usize, used: &mut [bool], current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for m in 0..k {
+            if !used[m] {
+                used[m] = true;
+                current.push(m);
+                rec(k, used, current, out);
+                current.pop();
+                used[m] = false;
+            }
+        }
+    }
+    rec(k, &mut used, &mut current, &mut out);
+    out
+}
+
+// Quiet the unused-import lint when the event alias is only used in docs.
+const _: fn(&ModelEvent) = |_: &Event<Req, Resp>| {};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::GcModel;
+    use mc::TransitionSystem;
+
+    fn two_mutator_model() -> GcModel {
+        let mut cfg = ModelConfig::small(2, 3);
+        // `small` may or may not be symmetric; force identical roots.
+        cfg.initial.roots = vec![vec![0], vec![0]];
+        GcModel::new(cfg)
+    }
+
+    #[test]
+    fn permutations_enumerate_k_factorial() {
+        assert_eq!(permutations(1), vec![vec![0]]);
+        assert_eq!(permutations(3).len(), 6);
+        let mut perms = permutations(2);
+        perms.sort();
+        assert_eq!(perms, vec![vec![0, 1], vec![1, 0]]);
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent_and_orbit_invariant() {
+        let model = two_mutator_model();
+        let sys_proc = model.sys_proc();
+        let init = &model.initial_states()[0];
+        // Walk a few levels, canonicalizing everything reachable; the
+        // representative must be a fixed point, and explicitly swapping
+        // the two mutators must not change it.
+        let mut frontier = vec![init.clone()];
+        let mut checked = 0usize;
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for s in &frontier {
+                let canon = canonical_under_mutator_symmetry(s, 2, sys_proc);
+                let again = canonical_under_mutator_symmetry(&canon, 2, sys_proc);
+                assert_eq!(canon, again, "canonicalization must be idempotent");
+                if symmetry_applicable(s, sys_proc) {
+                    let swapped = apply_perm(s, &[1, 0], sys_proc);
+                    let canon_swapped = canonical_under_mutator_symmetry(&swapped, 2, sys_proc);
+                    assert_eq!(
+                        canon, canon_swapped,
+                        "orbit members must share a representative"
+                    );
+                    checked += 1;
+                }
+                next.extend(model.successors(s).into_iter().map(|(_, s)| s));
+            }
+            frontier = next;
+        }
+        assert!(checked > 0, "the prefix must contain applicable states");
+    }
+
+    #[test]
+    fn swapping_mutators_preserves_successor_structure() {
+        // Bisimulation smoke test: from a swapped state, the successor
+        // set is the swap of the original successor set.
+        let model = two_mutator_model();
+        let sys_proc = model.sys_proc();
+        let init = &model.initial_states()[0];
+        assert!(symmetry_applicable(init, sys_proc));
+        let swapped = apply_perm(init, &[1, 0], sys_proc);
+        let of = |s: &crate::ModelState| {
+            let mut v: Vec<crate::ModelState> =
+                model.successors(s).into_iter().map(|(_, s)| s).collect();
+            v.sort_by(|a, b| {
+                let (mut ba, mut bb) = (Vec::new(), Vec::new());
+                codec::encode(a, &mut ba);
+                codec::encode(b, &mut bb);
+                ba.cmp(&bb)
+            });
+            v
+        };
+        let direct = of(&swapped);
+        let mut mirrored: Vec<crate::ModelState> = of(init)
+            .iter()
+            .map(|s| apply_perm(s, &[1, 0], sys_proc))
+            .collect();
+        mirrored.sort_by(|a, b| {
+            let (mut ba, mut bb) = (Vec::new(), Vec::new());
+            codec::encode(a, &mut ba);
+            codec::encode(b, &mut bb);
+            ba.cmp(&bb)
+        });
+        assert_eq!(direct, mirrored);
+    }
+
+    #[test]
+    fn ample_filter_reduces_only_certified_local_steps() {
+        let model = GcModel::new(ModelConfig::default());
+        let nprocs = model.system().len();
+        let init = &model.initial_states()[0];
+        // Scan a BFS prefix for at least one state where the filter
+        // fires, and check it always leaves a single-process tau set.
+        let mut frontier = vec![init.clone()];
+        let mut fired = 0usize;
+        for _ in 0..8 {
+            let mut next = Vec::new();
+            for s in &frontier {
+                let full = model.successors(s);
+                let mut filtered = full.clone();
+                if ample_filter(nprocs, &mut filtered) {
+                    fired += 1;
+                    assert!(filtered.len() < full.len());
+                    let proc = match &filtered[0].0 {
+                        Event::Tau { proc, .. } => *proc,
+                        other => panic!("ample sets hold only taus, got {other:?}"),
+                    };
+                    for (ev, _) in &filtered {
+                        match ev {
+                            Event::Tau { proc: p, label } => {
+                                assert_eq!(*p, proc);
+                                assert!(CERTIFIED_INVISIBLE_TAUS.contains(label));
+                            }
+                            other => panic!("ample sets hold only taus, got {other:?}"),
+                        }
+                    }
+                }
+                next.extend(full.into_iter().map(|(_, s)| s));
+            }
+            frontier = next;
+        }
+        assert!(fired > 0, "the prefix must contain a reducible state");
+    }
+}

@@ -329,6 +329,18 @@ fn export_track(dump: &TrackDump, out: &mut Vec<Json>) {
                     .set("outcome", serve_outcome_name(outcome))
                     .set("latency_us", latency_us),
             )),
+            EventKind::SegmentOccupancy {
+                segment,
+                busy,
+                slots,
+            } => out.push(
+                base("C", &format!("segment-{segment}-occupancy"), "gc", ts, tid)
+                    .set("args", Json::obj().set("busy", busy).set("slots", slots)),
+            ),
+            EventKind::FreeSegments { free, total } => out.push(
+                base("C", "free_segments", "gc", ts, tid)
+                    .set("args", Json::obj().set("free", free).set("total", total)),
+            ),
         }
     }
     // Close anything left open at the track's last timestamp so the trace
@@ -415,6 +427,15 @@ pub fn event_json(track: u32, track_name: &str, e: &Event) -> Json {
             .set("id", id)
             .set("outcome", serve_outcome_name(outcome))
             .set("latency_us", latency_us),
+        EventKind::SegmentOccupancy {
+            segment,
+            busy,
+            slots,
+        } => j
+            .set("segment", segment)
+            .set("busy", busy)
+            .set("slots", slots),
+        EventKind::FreeSegments { free, total } => j.set("free", free).set("total", total),
     };
     j
 }
@@ -703,6 +724,61 @@ mod tests {
                 .set("tid", 1u64)]),
         );
         assert!(validate_chrome_trace(&bad).is_err());
+    }
+
+    #[test]
+    fn segment_gauges_render_as_counter_tracks() {
+        let d = dump(
+            6,
+            "gc-collector",
+            vec![
+                (
+                    10,
+                    EventKind::SegmentOccupancy {
+                        segment: 0,
+                        busy: 61,
+                        slots: 64,
+                    },
+                ),
+                (
+                    10,
+                    EventKind::SegmentOccupancy {
+                        segment: 1,
+                        busy: 0,
+                        slots: 64,
+                    },
+                ),
+                (10, EventKind::FreeSegments { free: 1, total: 2 }),
+            ],
+        );
+        let trace = chrome_trace(&[d]);
+        let parsed = Json::parse(&trace.to_string()).expect("valid JSON");
+        let summary = validate_chrome_trace(&parsed).expect("gauges validate");
+        assert_eq!(summary.counters, 3);
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let counter_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert_eq!(
+            counter_names,
+            [
+                "segment-0-occupancy",
+                "segment-1-occupancy",
+                "free_segments"
+            ]
+        );
+        let busy: Vec<f64> = events
+            .iter()
+            .filter(|e| {
+                e.get("name")
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.starts_with("segment-"))
+            })
+            .filter_map(|e| e.get("args")?.get("busy")?.as_f64())
+            .collect();
+        assert_eq!(busy, [61.0, 0.0]);
     }
 
     #[test]

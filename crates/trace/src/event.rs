@@ -171,6 +171,27 @@ pub enum EventKind {
         /// End-to-end latency in microseconds.
         latency_us: u32,
     },
+    /// A per-segment occupancy sample (segmented heap layout): how many
+    /// of one segment's slots are unavailable for allocation, by the
+    /// same availability rule the global occupancy signal uses. Renders
+    /// as a Chrome counter track `segment-<n>-occupancy`.
+    SegmentOccupancy {
+        /// Segment index.
+        segment: u32,
+        /// Slots unavailable for allocation in this segment.
+        busy: u32,
+        /// Total slots per segment (the track's full-scale value).
+        slots: u32,
+    },
+    /// A free-segment-stack depth sample (segmented heap layout):
+    /// segments currently claimable whole from the lock-free free stack.
+    /// Renders as a Chrome counter track `free_segments`.
+    FreeSegments {
+        /// Segments on the free stack.
+        free: u32,
+        /// Total segments in the heap.
+        total: u32,
+    },
 }
 
 impl EventKind {
@@ -198,6 +219,8 @@ impl EventKind {
             EventKind::Instant { .. } => "instant",
             EventKind::Counter { .. } => "counter",
             EventKind::ServeRequest { .. } => "serve_request",
+            EventKind::SegmentOccupancy { .. } => "segment_occupancy",
+            EventKind::FreeSegments { .. } => "free_segments",
         }
     }
 }
@@ -256,6 +279,16 @@ impl Event {
                 (u64::from(id) << 8) | u64::from(outcome),
                 u64::from(latency_us),
             ),
+            EventKind::SegmentOccupancy {
+                segment,
+                busy,
+                slots,
+            } => (
+                22,
+                u64::from(segment),
+                (u64::from(slots) << 32) | u64::from(busy),
+            ),
+            EventKind::FreeSegments { free, total } => (23, u64::from(free), u64::from(total)),
         };
         [self.ts_ns, code, a, b]
     }
@@ -318,6 +351,15 @@ impl Event {
                 id: (a >> 8) as u32,
                 outcome: a as u8,
                 latency_us: b as u32,
+            },
+            22 => EventKind::SegmentOccupancy {
+                segment: a as u32,
+                busy: b as u32,
+                slots: (b >> 32) as u32,
+            },
+            23 => EventKind::FreeSegments {
+                free: a as u32,
+                total: b as u32,
             },
             _ => return None,
         };
@@ -387,6 +429,12 @@ mod tests {
                 outcome: 3,
                 latency_us: 41_000,
             },
+            EventKind::SegmentOccupancy {
+                segment: 5,
+                busy: 61,
+                slots: 64,
+            },
+            EventKind::FreeSegments { free: 3, total: 8 },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let e = Event {

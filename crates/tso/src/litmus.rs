@@ -160,9 +160,16 @@ impl LitmusTest {
     }
 
     /// Successor states of `s`: every enabled program step of every thread,
-    /// plus every enabled store-buffer commit.
-    fn successors(&self, s: &ExplState) -> Vec<ExplState> {
-        let mut out = Vec::new();
+    /// plus every enabled store-buffer commit. Appends into a
+    /// caller-provided scratch buffer — the explorers reuse one buffer
+    /// across the whole search instead of allocating a `Vec` per state.
+    ///
+    /// With `canonicalize`, each successor's store buffers are normalized
+    /// by coalescing adjacent duplicate writes
+    /// ([`Machine::canonicalize_buffers`]) so observationally-equivalent
+    /// buffer contents dedup to one state.
+    fn successors_into(&self, s: &ExplState, canonicalize: bool, out: &mut Vec<ExplState>) {
+        let base = out.len();
         for (ti, program) in self.threads.iter().enumerate() {
             let t = ThreadId::new(ti);
             // Program step.
@@ -204,7 +211,43 @@ impl LitmusTest {
                 }
             }
         }
-        out
+        if canonicalize {
+            for next in &mut out[base..] {
+                next.machine.canonicalize_buffers();
+            }
+        }
+    }
+
+    /// The shared exhaustive DFS: visits every distinct state once, calls
+    /// `on_state` for each final state, and returns the number of distinct
+    /// states seen. One scratch successor buffer serves the whole search.
+    fn explore(
+        &self,
+        model: MemoryModel,
+        canonicalize: bool,
+        mut on_final: impl FnMut(&ExplState),
+    ) -> usize {
+        let mut seen: HashSet<ExplState> = HashSet::new();
+        let mut stack = vec![self.initial_state(model)];
+        let mut scratch: Vec<ExplState> = Vec::new();
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s.clone()) {
+                continue;
+            }
+            let done = s
+                .pcs
+                .iter()
+                .enumerate()
+                .all(|(t, &pc)| pc == self.threads[t].len())
+                && s.machine.threads_with_pending().next().is_none();
+            if done {
+                on_final(&s);
+            }
+            scratch.clear();
+            self.successors_into(&s, canonicalize, &mut scratch);
+            stack.append(&mut scratch);
+        }
+        seen.len()
     }
 
     /// Exhaustively explores every interleaving under `model` and returns
@@ -216,24 +259,19 @@ impl LitmusTest {
     /// initialized read as `u32::MAX` as well, so use explicit
     /// [`init`](LitmusTest::init) bindings.
     pub fn outcomes(&self, model: MemoryModel) -> BTreeSet<Outcome> {
-        let mut seen: HashSet<ExplState> = HashSet::new();
-        let mut stack = vec![self.initial_state(model)];
+        self.outcomes_with(model, false)
+    }
+
+    /// [`outcomes`](LitmusTest::outcomes) with store-buffer
+    /// canonicalization optionally enabled. Canonicalization coalesces
+    /// adjacent duplicate pending writes, which preserves every committed
+    /// memory and every forwarded read — so the outcome set is identical;
+    /// only the number of distinct explored states shrinks.
+    pub fn outcomes_with(&self, model: MemoryModel, canonicalize: bool) -> BTreeSet<Outcome> {
         let mut finals = BTreeSet::new();
-        while let Some(s) = stack.pop() {
-            if !seen.insert(s.clone()) {
-                continue;
-            }
-            let done = s
-                .pcs
-                .iter()
-                .enumerate()
-                .all(|(t, &pc)| pc == self.threads[t].len())
-                && s.machine.threads_with_pending().next().is_none();
-            if done {
-                finals.insert(Outcome::new(s.regs.clone()));
-            }
-            stack.extend(self.successors(&s));
-        }
+        self.explore(model, canonicalize, |s| {
+            finals.insert(Outcome::new(s.regs.clone()));
+        });
         finals
     }
 
@@ -242,44 +280,29 @@ impl LitmusTest {
     /// whose interesting observable is the committed state rather than
     /// registers (e.g. `2+2W`).
     pub fn final_memories(&self, model: MemoryModel) -> BTreeSet<Vec<(&'static str, u32)>> {
-        let mut seen: HashSet<ExplState> = HashSet::new();
-        let mut stack = vec![self.initial_state(model)];
         let mut finals = BTreeSet::new();
-        while let Some(s) = stack.pop() {
-            if !seen.insert(s.clone()) {
-                continue;
-            }
-            let done = s
-                .pcs
-                .iter()
-                .enumerate()
-                .all(|(t, &pc)| pc == self.threads[t].len())
-                && s.machine.threads_with_pending().next().is_none();
-            if done {
-                finals.insert(
-                    s.machine
-                        .memory_iter()
-                        .map(|(a, v)| (*a, *v))
-                        .collect::<Vec<_>>(),
-                );
-            }
-            stack.extend(self.successors(&s));
-        }
+        self.explore(model, false, |s| {
+            finals.insert(
+                s.machine
+                    .memory_iter()
+                    .map(|(a, v)| (*a, *v))
+                    .collect::<Vec<_>>(),
+            );
+        });
         finals
     }
 
     /// The number of distinct states explored under `model` — used by the
     /// state-space statistics experiment.
     pub fn state_count(&self, model: MemoryModel) -> usize {
-        let mut seen: HashSet<ExplState> = HashSet::new();
-        let mut stack = vec![self.initial_state(model)];
-        while let Some(s) = stack.pop() {
-            if !seen.insert(s.clone()) {
-                continue;
-            }
-            stack.extend(self.successors(&s));
-        }
-        seen.len()
+        self.state_count_with(model, false)
+    }
+
+    /// [`state_count`](LitmusTest::state_count) with store-buffer
+    /// canonicalization optionally enabled, for measuring the per-test
+    /// savings of the normalization.
+    pub fn state_count_with(&self, model: MemoryModel, canonicalize: bool) -> usize {
+        self.explore(model, canonicalize, |_| {})
     }
 }
 
@@ -406,6 +429,28 @@ pub fn suite() -> Vec<LitmusTest> {
         two_plus_two_w(),
         cas_race(),
     ]
+}
+
+/// Store buffering with each store issued twice (`SB+dups`): the repeated
+/// adjacent writes are observationally redundant, so buffer
+/// canonicalization collapses them — a worst case for naive exploration
+/// and the demonstration test for `sb_canon` savings.
+pub fn sb_dups() -> LitmusTest {
+    LitmusTest::new("SB+dups")
+        .init("x", 0)
+        .init("y", 0)
+        .thread(vec![
+            Instr::Write("x", 1),
+            Instr::Write("x", 1),
+            Instr::Write("x", 1),
+            Instr::Read("y", 0),
+        ])
+        .thread(vec![
+            Instr::Write("y", 1),
+            Instr::Write("y", 1),
+            Instr::Write("y", 1),
+            Instr::Read("x", 0),
+        ])
 }
 
 /// Two threads race a CAS on the same location: exactly one must win.
@@ -548,6 +593,41 @@ mod tests {
     fn tso_explores_more_states_than_sc() {
         let t = sb();
         assert!(t.state_count(MemoryModel::Tso) > t.state_count(MemoryModel::Sc));
+    }
+
+    #[test]
+    fn canonicalization_preserves_outcomes_across_the_suite() {
+        for t in suite().into_iter().chain([sb_dups()]) {
+            for model in [MemoryModel::Tso, MemoryModel::Sc] {
+                assert_eq!(
+                    t.outcomes_with(model, false),
+                    t.outcomes_with(model, true),
+                    "{} outcomes changed under sb_canon ({model:?})",
+                    t.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonicalization_shrinks_duplicate_write_state_spaces() {
+        let t = sb_dups();
+        let naive = t.state_count_with(MemoryModel::Tso, false);
+        let canon = t.state_count_with(MemoryModel::Tso, true);
+        assert!(
+            canon < naive,
+            "expected canon ({canon}) < naive ({naive}) for SB+dups"
+        );
+        // SB has no adjacent duplicates, so canon must be a no-op there.
+        let sb = sb();
+        assert_eq!(
+            sb.state_count_with(MemoryModel::Tso, false),
+            sb.state_count_with(MemoryModel::Tso, true)
+        );
+        // The relaxed outcome survives canonicalization.
+        assert!(t
+            .outcomes_with(MemoryModel::Tso, true)
+            .contains(&outcome(vec![vec![0], vec![0]])));
     }
 
     #[test]

@@ -160,6 +160,42 @@ impl<A, V> StoreBuffer<A, V> {
     fn pop(&mut self) -> Option<(A, V)> {
         self.entries.pop_front()
     }
+
+    /// Rebuilds a buffer from its pending writes, oldest first — the
+    /// inverse of [`StoreBuffer::iter`], for state deserialization.
+    pub fn from_entries(entries: impl IntoIterator<Item = (A, V)>) -> Self {
+        StoreBuffer {
+            entries: entries.into_iter().collect(),
+        }
+    }
+
+    /// Coalesces *adjacent duplicate* pending writes — consecutive entries
+    /// with the same address **and** the same value — keeping one copy.
+    /// Returns the number of entries removed.
+    ///
+    /// This is the only buffer normalization that is observationally sound
+    /// in general: committing the first of two identical adjacent writes
+    /// leaves every subsequent memory state, every same-thread forwarded
+    /// read and every other-thread read exactly as committing the
+    /// coalesced single write would. (Coalescing *shadowed* writes to the
+    /// same address with different values is **unsound**: the intermediate
+    /// value becomes globally visible when the older write commits.)
+    pub fn coalesce_adjacent_duplicates(&mut self) -> usize
+    where
+        A: PartialEq,
+        V: PartialEq,
+    {
+        let before = self.entries.len();
+        let mut keep: VecDeque<(A, V)> = VecDeque::with_capacity(before);
+        for e in self.entries.drain(..) {
+            if keep.back() == Some(&e) {
+                continue;
+            }
+            keep.push_back(e);
+        }
+        self.entries = keep;
+        before - self.entries.len()
+    }
 }
 
 impl<A: PartialEq, V> StoreBuffer<A, V> {
@@ -475,6 +511,75 @@ impl<A: Ord + Clone, V: Clone> Machine<A, V> {
         self.flush(thread)?;
         self.unlock(thread)?;
         Ok(won)
+    }
+
+    /// Rebuilds a machine from previously-extracted parts — the inverse of
+    /// reading [`Machine::memory_iter`], [`Machine::buffer`] and
+    /// [`Machine::lock_holder`], for state deserialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock holder is out of range of `buffers`.
+    pub fn from_raw_parts(
+        model: MemoryModel,
+        memory: BTreeMap<A, V>,
+        buffers: Vec<StoreBuffer<A, V>>,
+        lock: Option<ThreadId>,
+    ) -> Self {
+        if let Some(t) = lock {
+            assert!(t.0 < buffers.len(), "lock holder out of range");
+        }
+        Machine {
+            memory,
+            buffers,
+            lock,
+            model,
+        }
+    }
+
+    /// Canonicalizes every store buffer by coalescing adjacent duplicate
+    /// pending writes (see [`StoreBuffer::coalesce_adjacent_duplicates`]).
+    /// Returns the total number of entries removed. Observationally
+    /// equivalent machine states then hash identically.
+    pub fn canonicalize_buffers(&mut self) -> usize
+    where
+        V: PartialEq,
+    {
+        self.buffers
+            .iter_mut()
+            .map(|b| b.coalesce_adjacent_duplicates())
+            .sum()
+    }
+
+    /// Permutes the hardware threads: after the call, thread `new` owns
+    /// what thread `map[new]` owned before (store buffer and, if it held
+    /// it, the bus lock). Shared memory is untouched. Used by symmetry
+    /// reduction to canonicalize states under permutations of identical
+    /// threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` is not a permutation of `0..self.threads()`.
+    pub fn permute_threads(&mut self, map: &[usize]) {
+        assert_eq!(map.len(), self.buffers.len(), "permutation arity");
+        let mut seen = vec![false; map.len()];
+        for &old in map {
+            assert!(old < map.len() && !seen[old], "not a permutation");
+            seen[old] = true;
+        }
+        let mut buffers: Vec<Option<StoreBuffer<A, V>>> =
+            self.buffers.drain(..).map(Some).collect();
+        self.buffers = map
+            .iter()
+            .map(|&old| buffers[old].take().expect("permutation visits once"))
+            .collect();
+        if let Some(holder) = self.lock {
+            let new = map
+                .iter()
+                .position(|&old| old == holder.0)
+                .expect("lock holder survives permutation");
+            self.lock = Some(ThreadId(new));
+        }
     }
 }
 

@@ -42,25 +42,41 @@ fn storm_plan(seed: u64) -> FaultPlan {
 
 #[test]
 fn serve_survives_a_chaos_storm_and_recovers() {
-    let mut cfg = ServeConfig::quick(test_layout(256)).with_storm(storm_plan(0xc4a05));
-    // The storm aborts cycles through the handshake watchdog, so a
-    // recovery-window request can still absorb one ~100ms stall tail;
-    // keep the SLO meaningful (below the 250ms deadline) but with margin
-    // against a loaded CI runner.
-    cfg.slo = std::time::Duration::from_millis(200);
-    let registry = Registry::new();
-    let report = run_serve(&cfg, &registry);
+    // The worker-panic site only draws on requests a worker actually
+    // processes inside the storm window; on a slow (debug, loaded) box
+    // admission control can shed nearly the whole window and the storm
+    // never reaches a worker. The oracle must hold on *every* run, but
+    // the panic-reaches-the-loop half is allowed a few re-rolls — each
+    // attempt is a full serve run asserted healthy.
+    let mut report = None;
+    for attempt in 0u64..5 {
+        let mut cfg =
+            ServeConfig::quick(test_layout(256)).with_storm(storm_plan(0xc4a05 + attempt));
+        // The storm aborts cycles through the handshake watchdog, so a
+        // recovery-window request can still absorb one ~100ms stall tail;
+        // keep the SLO meaningful (below the 250ms deadline) but with
+        // margin against a loaded CI runner.
+        cfg.slo = std::time::Duration::from_millis(200);
+        let registry = Registry::new();
+        let r = run_serve(&cfg, &registry);
 
-    // The recovery oracle: no lost sessions, no use-after-free, every
-    // request accounted for, post-storm p99 back under the SLO.
-    assert!(
-        report.is_healthy(),
-        "oracle violations under storm: {:?}\nfull report: {report:?}",
-        report.violations
-    );
+        // The recovery oracle: no lost sessions, no use-after-free, every
+        // request accounted for, post-storm p99 back under the SLO.
+        assert!(
+            r.is_healthy(),
+            "oracle violations under storm: {:?}\nfull report: {r:?}",
+            r.violations
+        );
+        let hit = r.worker_panics >= 1;
+        report = Some(r);
+        if hit {
+            break;
+        }
+    }
+    let report = report.expect("at least one serve run");
     assert!(
         report.worker_panics >= 1,
-        "the storm never killed a worker — injection did not reach the serve loop: {report:?}"
+        "the storm never killed a worker in 5 attempts — injection did not reach the serve loop: {report:?}"
     );
     assert!(report.ok > 0, "nothing was served: {report:?}");
     assert_eq!(report.lost_sessions, 0);
