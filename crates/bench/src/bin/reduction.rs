@@ -17,12 +17,25 @@
 //! reductions on and the disk-spill frontier engaged, so the BFS
 //! wave-front never has to be memory-resident.
 //!
-//! Usage: `reduction [max_states] [--ci]` (default 5 million; `--ci`
-//! trims the sweep to pull-request size).
+//! Every run shares one metrics [`Registry`] wired into the checker
+//! ([`CheckerConfig::metrics`]): BFS progress gauges (`mc_states_total`,
+//! `mc_states_per_sec`, `mc_bfs_level`, `mc_frontier_len`), disk-spill
+//! counters (`mc_spill_bytes_written_total`, `mc_spill_bytes_read_total`,
+//! `mc_spill_frontier_bytes`) and per-technique
+//! `mc_reduction_hits_total{technique=...}` counters. The snapshot lands
+//! in `BENCH_reduction.json`'s `metrics` section; `--metrics-addr ADDR`
+//! additionally serves it live over HTTP (`/metrics`, `/metrics.json`,
+//! `/healthz` keyed to `mc_states_total` progress).
+//!
+//! Usage: `reduction [max_states] [--ci] [--metrics-addr ADDR]` (default
+//! 5 million; `--ci` trims the sweep to pull-request size).
+
+use std::sync::Arc;
+use std::time::Duration;
 
 use gc_bench::{check_config_opts, print_table, report_json, Suite};
 use gc_model::{InitialHeap, ModelConfig};
-use gc_trace::Json;
+use gc_trace::{Json, Liveness, MetricsServer, Registry};
 use mc::{CheckerConfig, Reduction, Strategy};
 
 /// The reduction combinations measured per instance, in report order.
@@ -69,13 +82,14 @@ const COMBOS: [(&str, Reduction); 5] = [
     ),
 ];
 
-fn config(max_states: usize, reduction: Reduction) -> CheckerConfig {
+fn config(max_states: usize, reduction: Reduction, registry: &Arc<Registry>) -> CheckerConfig {
     CheckerConfig {
         max_states,
         hash_compact: true,
         ..CheckerConfig::default()
     }
     .reduction(reduction)
+    .metrics(Arc::clone(registry))
 }
 
 /// Checks `cfg` under every reduction combination, asserts verdict
@@ -85,6 +99,7 @@ fn sweep(
     name: &str,
     cfg: &ModelConfig,
     max_states: usize,
+    registry: &Arc<Registry>,
 ) -> Vec<(&'static str, Reduction, gc_bench::CheckReport)> {
     let mut reports = Vec::new();
     for (label, reduction) in COMBOS {
@@ -92,7 +107,7 @@ fn sweep(
             format!("{name} [{label}]"),
             cfg,
             Suite::Full.properties(cfg),
-            config(max_states, reduction),
+            config(max_states, reduction, registry),
             Strategy::default(),
         );
         reports.push((label, reduction, report));
@@ -143,13 +158,47 @@ fn row_json(label: &str, reduction: Reduction, report: &gc_bench::CheckReport) -
 fn main() {
     let mut max: usize = 5_000_000;
     let mut ci = false;
-    for arg in std::env::args().skip(1) {
-        if arg == "--ci" {
-            ci = true;
-        } else if let Ok(n) = arg.parse() {
-            max = n;
+    let mut metrics_addr: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ci" => {
+                ci = true;
+                i += 1;
+            }
+            "--metrics-addr" => {
+                metrics_addr = Some(
+                    args.get(i + 1)
+                        .expect("--metrics-addr needs a value")
+                        .clone(),
+                );
+                i += 2;
+            }
+            other => {
+                max = other.parse().unwrap_or_else(|_| {
+                    panic!("unknown argument: {other} (see the module docs for usage)")
+                });
+                i += 1;
+            }
         }
     }
+
+    // One registry for every run: the checker's telemetry accumulates
+    // across the sweep, the scrape endpoint (if any) serves it live, and
+    // the final snapshot lands in the BENCH record.
+    let registry = Arc::new(Registry::new());
+    let server = metrics_addr.map(|addr| {
+        let live = Liveness::watch(
+            Arc::clone(&registry),
+            "mc_states_total",
+            Duration::from_secs(10),
+        );
+        let s = MetricsServer::spawn(&addr, Arc::clone(&registry), Some(live))
+            .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+        println!("metrics: http://{}/metrics", s.local_addr());
+        s
+    });
 
     let mut rows = Vec::new();
 
@@ -173,7 +222,7 @@ fn main() {
         "flagship: 2 mutators, shared object, no alloc, buffer_cap={}",
         flagship.buffer_cap
     );
-    let flagship_runs = sweep("2mut shared", &flagship, max);
+    let flagship_runs = sweep("2mut shared", &flagship, max, &registry);
     let ratio = flagship_runs[0].2.states as f64
         / flagship_runs
             .last()
@@ -192,7 +241,7 @@ fn main() {
     if !ci {
         println!("smallest faithful instance: 1 mutator, 2 slots, all ops");
         rows.extend(
-            sweep("1mut all-ops", &ModelConfig::small(1, 2), max)
+            sweep("1mut all-ops", &ModelConfig::small(1, 2), max, &registry)
                 .iter()
                 .map(|(label, reduction, report)| row_json(label, *reduction, report)),
         );
@@ -216,7 +265,7 @@ fn main() {
         c.ops.store = false;
         c
     };
-    let mut spill_config = config(max, Reduction::all());
+    let mut spill_config = config(max, Reduction::all(), &registry);
     spill_config.spill_threshold = Some(20_000);
     let heap_report = check_config_opts(
         "2mut 4-slot heap [all+spill]",
@@ -243,7 +292,7 @@ fn main() {
     // The unreduced comparison row for the same instance (skipped in CI:
     // the artifact diff wants the gate, not the control).
     if !ci {
-        let mut none_spill = config(max, Reduction::default());
+        let mut none_spill = config(max, Reduction::default(), &registry);
         none_spill.spill_threshold = Some(20_000);
         let heap_none = check_config_opts(
             "2mut 4-slot heap [none+spill]",
@@ -276,10 +325,13 @@ fn main() {
             ("runs", Json::from(rows)),
             ("flagship_reduction_x", Json::from(ratio)),
         ],
-        None,
+        Some(&registry),
     );
     match gc_bench::write_bench_record("reduction", &record) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write BENCH_reduction.json: {e}"),
+    }
+    if let Some(server) = server {
+        server.shutdown();
     }
 }

@@ -19,17 +19,20 @@
 //!   cycles.
 //!
 //! Usage: `torture [--seeds 1,2,3] [--ops N] [--mutators K] [--capacity N]
-//! [--layout slab|segmented|both]`. Every seed runs once per selected heap
-//! layout — the chaos plans include storms on the segmented-only TLAB
-//! refill and lazy-sweep sites. Exits nonzero if any verdict is not OK.
+//! [--layout slab|segmented|both] [--metrics-addr ADDR]`. Every seed runs
+//! once per selected heap layout — the chaos plans include storms on the
+//! segmented-only TLAB refill and lazy-sweep sites. `--metrics-addr`
+//! serves the run's registry live over HTTP (`/metrics`, `/metrics.json`,
+//! `/healthz` keyed to `torture_collect_calls_total` progress). Exits
+//! nonzero if any verdict is not OK.
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use gc_bench::write_bench_record;
-use gc_trace::Json;
+use gc_trace::{Json, Liveness, MetricsServer, Registry};
 use otf_gc::{Collector, FaultPlan, Gc, GcConfig, HeapLayout, Mutator};
 
 /// One mutator's churn loop: grow a shared list off `anchor`, cut it loose
@@ -98,6 +101,7 @@ fn run_seed(
     mutators: usize,
     ops: usize,
     capacity: usize,
+    registry: &Registry,
 ) -> SeedReport {
     let plan = FaultPlan::from_seed(seed);
     let cfg = GcConfig::builder()
@@ -157,9 +161,15 @@ fn run_seed(
             });
         }
         // The driver: cycles back to back until every churner is done.
-        // The watchdog guarantees each collect() call terminates.
+        // The watchdog guarantees each collect() call terminates. Each
+        // lap bumps the progress counter the /healthz liveness probe
+        // watches and republishes the cumulative cycle gauge.
+        let collect_calls = registry.counter("torture_collect_calls_total");
+        let cycles_gauge = registry.gauge("gc_cycles_completed");
         while finished.load(Ordering::Acquire) < mutators {
             let _ = collector.collect();
+            collect_calls.inc();
+            cycles_gauge.set(collector.stats().cycles() as i64);
             let live = collector.live_objects();
             if live > capacity && verdict.is_ok() {
                 verdict = Err(format!("{live} live objects exceed capacity {capacity}"));
@@ -226,12 +236,20 @@ fn segmented(capacity: usize) -> HeapLayout {
     }
 }
 
-fn parse_args() -> (Vec<u64>, usize, usize, usize, Vec<&'static str>) {
+fn parse_args() -> (
+    Vec<u64>,
+    usize,
+    usize,
+    usize,
+    Vec<&'static str>,
+    Option<String>,
+) {
     let mut seeds: Vec<u64> = (1..=10).collect();
     let mut ops = 20_000usize;
     let mut mutators = 4usize;
     let mut capacity = 1_024usize;
     let mut layouts = vec!["slab", "segmented"];
+    let mut metrics_addr = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -268,21 +286,40 @@ fn parse_args() -> (Vec<u64>, usize, usize, usize, Vec<&'static str>) {
                 };
                 i += 2;
             }
+            "--metrics-addr" => {
+                metrics_addr = Some(need(i).clone());
+                i += 2;
+            }
             other => panic!("unknown argument: {other}"),
         }
     }
-    (seeds, ops, mutators, capacity, layouts)
+    (seeds, ops, mutators, capacity, layouts, metrics_addr)
 }
 
 fn main() {
     // Injected panics are expected by the dozen: keep stderr quiet and
     // report through the captured payloads instead.
     std::panic::set_hook(Box::new(|_| {}));
-    let (seeds, ops, mutators, capacity, layouts) = parse_args();
+    let (seeds, ops, mutators, capacity, layouts, metrics_addr) = parse_args();
     println!(
         "== torture: {} seeds x {mutators} mutators x {ops} ops, capacity {capacity}, layouts {layouts:?} ==",
         seeds.len()
     );
+    // One registry across all seeds: collect-call and cycle counts
+    // accumulate, the optional scrape endpoint serves them live, and the
+    // snapshot lands in the BENCH record.
+    let registry = Arc::new(Registry::new());
+    let server = metrics_addr.map(|addr| {
+        let live = Liveness::watch(
+            Arc::clone(&registry),
+            "torture_collect_calls_total",
+            Duration::from_secs(10),
+        );
+        let s = MetricsServer::spawn(&addr, Arc::clone(&registry), Some(live))
+            .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+        println!("metrics: http://{}/metrics", s.local_addr());
+        s
+    });
     println!(
         "{:>6} | {:>9} | {:>9} | {:>8} | {:>7} | {:>6} | {:>6} | verdict",
         "seed", "layout", "completed", "timedout", "evicted", "panics", "faults"
@@ -295,7 +332,7 @@ fn main() {
             _ => segmented(capacity),
         };
         for &seed in &seeds {
-            let r = run_seed(seed, layout, mutators, ops, capacity);
+            let r = run_seed(seed, layout, mutators, ops, capacity, &registry);
             let verdict = match &r.verdict {
                 Ok(()) => "OK".to_string(),
                 Err(e) => {
@@ -336,11 +373,14 @@ fn main() {
             ("failures", Json::from(failures as u64)),
             ("per_seed", Json::Arr(rows)),
         ],
-        None,
+        Some(&registry),
     );
     match write_bench_record("torture", &record) {
         Ok(path) => println!("bench record -> {}", path.display()),
         Err(e) => eprintln!("warning: could not write bench record: {e}"),
+    }
+    if let Some(server) = server {
+        server.shutdown();
     }
     if failures > 0 {
         eprintln!("torture: {failures} seed(s) FAILED");

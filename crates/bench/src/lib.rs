@@ -170,31 +170,18 @@ pub fn report_json(report: &CheckReport) -> gc_trace::Json {
 
 /// Writes a [`gc_trace::bench_record`] document to
 /// `experiments_output/BENCH_<bench>.json` at the *workspace root*
-/// (creating the directory), and returns the path. The root is found by
-/// walking up from `CARGO_MANIFEST_DIR` to the repository — `cargo bench`
-/// and `cargo test` set the working directory to the package root, so a
-/// cwd-relative path would scatter records across `crates/*`. Bench bins
-/// treat failures here as warnings, not errors — the measurement already
-/// happened.
+/// (creating the directory), and returns the path. Delegates to
+/// [`gc_trace::write_bench_record`], which anchors at the repository root
+/// (walking up from `CARGO_MANIFEST_DIR` — `cargo bench` and `cargo test`
+/// set the working directory to the package root, so a cwd-relative path
+/// would scatter records across `crates/*`) and rejects records that do
+/// not conform to the `gc-bench/v1` schema. Bench bins treat failures
+/// here as warnings, not errors — the measurement already happened.
 pub fn write_bench_record(
     bench: &str,
     record: &gc_trace::Json,
 ) -> std::io::Result<std::path::PathBuf> {
-    let root = std::env::var_os("CARGO_MANIFEST_DIR")
-        .map(std::path::PathBuf::from)
-        .map(|manifest| {
-            manifest
-                .ancestors()
-                .find(|a| a.join(".git").exists())
-                .map(std::path::Path::to_path_buf)
-                .unwrap_or(manifest)
-        })
-        .unwrap_or_else(|| std::path::PathBuf::from("."));
-    let dir = root.join("experiments_output");
-    std::fs::create_dir_all(&dir)?;
-    let path = dir.join(format!("BENCH_{bench}.json"));
-    std::fs::write(&path, format!("{record}\n"))?;
-    Ok(path)
+    gc_trace::write_bench_record(bench, record)
 }
 
 #[cfg(test)]

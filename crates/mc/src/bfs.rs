@@ -60,6 +60,7 @@ use crate::config::{CheckerConfig, Reduction};
 use crate::hash::FxBuild;
 use crate::outcome::{Bound, Outcome, Stats, Trace};
 use crate::property::{first_violation, Property};
+use crate::telemetry::Telemetry;
 use crate::TransitionSystem;
 
 const SHARD_BITS: u32 = 6;
@@ -264,14 +265,15 @@ struct DiskLevel {
 
 impl DiskLevel {
     /// Decodes entries `[start, end)` into `out`; `start` must be
-    /// block-aligned (it is the offset granularity).
+    /// block-aligned (it is the offset granularity). Returns the bytes
+    /// read back from disk (for the spill-read telemetry counter).
     fn read_block<TS: TransitionSystem>(
         &self,
         ts: &TS,
         start: usize,
         end: usize,
         out: &mut Vec<TS::State>,
-    ) {
+    ) -> u64 {
         debug_assert_eq!(start % BLOCK, 0);
         let file = File::open(&self.path).expect("open spill file");
         let mut reader = BufReader::new(file);
@@ -280,13 +282,16 @@ impl DiskLevel {
             .expect("seek spill file");
         let mut len_buf = [0u8; 4];
         let mut bytes = Vec::new();
+        let mut read = 0u64;
         for _ in start..end {
             reader.read_exact(&mut len_buf).expect("read spill length");
             let n = u32::from_le_bytes(len_buf) as usize;
             bytes.resize(n, 0);
             reader.read_exact(&mut bytes).expect("read spill state");
+            read += 4 + n as u64;
             out.push(ts.decode_state(&bytes).expect("decode spilled state"));
         }
+        read
     }
 }
 
@@ -402,9 +407,36 @@ struct ExpandCtx<'a, TS: TransitionSystem, M: Mode<TS>> {
     forbid_deadlock: bool,
     deadline: Option<Instant>,
     stop: &'a AtomicBool,
+    telemetry: &'a Telemetry,
 }
 
 impl<TS: TransitionSystem, M: Mode<TS>> ExpandCtx<'_, TS, M> {
+    /// Attributes upcoming canonicalizations to individual techniques for
+    /// the `mc_reduction_hits_total` counters: a successor counts as a
+    /// symmetry merge (resp. sb-canon coalesce) when applying *only* that
+    /// technique changes it. Counting only — the search itself always uses
+    /// the combined `canonicalize` call, so applying the techniques
+    /// separately here cannot perturb dedup, state counts or verdicts.
+    /// Runs only when a metrics registry is attached.
+    fn attribute_canon(&self, scratch: &[(TS::Action, TS::State)]) {
+        let sym_only = Reduction {
+            symmetry: true,
+            ..Reduction::default()
+        };
+        let sb_only = Reduction {
+            sb_canon: true,
+            ..Reduction::default()
+        };
+        for (_, succ) in scratch {
+            if self.reduction.symmetry && self.ts.canonicalize(succ, &sym_only) != *succ {
+                self.telemetry.symmetry_merge();
+            }
+            if self.reduction.sb_canon && self.ts.canonicalize(succ, &sb_only) != *succ {
+                self.telemetry.sb_coalesce();
+            }
+        }
+    }
+
     /// Expands one frontier state into the sharded pending tables,
     /// applying the configured reductions. Returns `false` when the worker
     /// should stop (deadline hit or another worker signalled stop).
@@ -435,11 +467,15 @@ impl<TS: TransitionSystem, M: Mode<TS>> ExpandCtx<'_, TS, M> {
             false
         };
         if canon {
+            if self.telemetry.attributing() {
+                self.attribute_canon(scratch);
+            }
             for (_, succ) in scratch.iter_mut() {
                 *succ = self.ts.canonicalize(succ, &self.reduction);
             }
         }
         if reduced {
+            self.telemetry.por_ample();
             // Cycle proviso (C3): the seen-set is frozen during the
             // parallel phase, so this check is deterministic. If every
             // ample successor was already visited, the ample set could
@@ -453,9 +489,13 @@ impl<TS: TransitionSystem, M: Mode<TS>> ExpandCtx<'_, TS, M> {
                     M::seen_contains(&guard.seen, probe, succ)
                 });
             if all_seen {
+                self.telemetry.por_fallback();
                 scratch.clear();
                 self.ts.successors_into(state, scratch);
                 if canon {
+                    if self.telemetry.attributing() {
+                        self.attribute_canon(scratch);
+                    }
                     for (_, succ) in scratch.iter_mut() {
                         *succ = self.ts.canonicalize(succ, &self.reduction);
                     }
@@ -566,7 +606,8 @@ where
             }
             Frontier::Disk(d) => {
                 disk_buf.clear();
-                d.read_block(ctx.ts, start, end, &mut disk_buf);
+                let read = d.read_block(ctx.ts, start, end, &mut disk_buf);
+                ctx.telemetry.spill_read(read);
                 for (i, state) in disk_buf.iter().enumerate() {
                     let pos = start + i;
                     let parent_id = d.first_id + pos as u32;
@@ -594,6 +635,7 @@ where
     let start = Instant::now();
     let deadline = config.time_limit.map(|limit| start + limit);
     let canon = config.reduction.symmetry || config.reduction.sb_canon;
+    let telemetry = Telemetry::new(config);
 
     let mut shards: Vec<Mutex<Shard<M::Key, TS>>> =
         (0..NSHARDS).map(|_| Mutex::new(Shard::default())).collect();
@@ -639,6 +681,7 @@ where
         }
     }
     let mut frontier: Frontier<TS> = Frontier::Mem(seed);
+    telemetry.seeded(states_count);
 
     let mut level: usize = 0;
     let mut deepest: usize = 0;
@@ -652,6 +695,7 @@ where
         }
         deepest = level;
         let expanding = level < config.max_depth;
+        telemetry.level_begin(level, frontier.len());
         #[cfg(feature = "trace")]
         gc_trace::emit(gc_trace::EventKind::LevelBegin {
             level: level as u32,
@@ -673,6 +717,7 @@ where
             forbid_deadlock: config.forbid_deadlock,
             deadline,
             stop: &stop,
+            telemetry: &telemetry,
         };
         let workers = threads.min(frontier.len().div_ceil(BLOCK)).max(1);
         let outs: Vec<WorkerOut> = if workers == 1 {
@@ -820,9 +865,10 @@ where
             _ => {}
         }
 
-        // Level completed without a verdict: report its shape. Tracing is
-        // observation only — it never influences exploration order, so the
-        // deterministic-drain guarantee is untouched.
+        // Level completed without a verdict: report its shape. Tracing and
+        // telemetry are observation only — they never influence exploration
+        // order, so the deterministic-drain guarantee is untouched.
+        telemetry.level_done(states_count, next_disk.as_ref().map_or(0, |w| w.bytes));
         #[cfg(feature = "trace")]
         {
             let discovered = next_disk.as_ref().map_or(next_mem.len(), |w| w.len) as u64;

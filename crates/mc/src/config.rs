@@ -135,6 +135,14 @@ pub struct CheckerConfig {
     /// without a codec keep frontiers in memory regardless. `None`
     /// (default) never spills.
     pub spill_threshold: Option<usize>,
+    /// A metrics registry the BFS publishes live telemetry into:
+    /// states/sec, frontier length, spill bytes and per-reduction-technique
+    /// hit counters (see `telemetry` module docs). Sharing the registry
+    /// with a `gc_trace::MetricsServer` makes a long check scrapable in
+    /// flight. `None` (default) publishes nothing; telemetry never affects
+    /// verdicts or state counts either way.
+    #[cfg(feature = "trace")]
+    pub metrics: Option<Arc<gc_trace::Registry>>,
 }
 
 impl CheckerConfig {
@@ -145,12 +153,21 @@ impl CheckerConfig {
         self.reduction = reduction;
         self
     }
+
+    /// Returns `self` publishing live telemetry into `registry` (see the
+    /// [`metrics`](CheckerConfig::metrics) field).
+    #[cfg(feature = "trace")]
+    #[must_use]
+    pub fn metrics(mut self, registry: Arc<gc_trace::Registry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
 }
 
 impl fmt::Debug for CheckerConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CheckerConfig")
-            .field("max_states", &self.max_states)
+        let mut d = f.debug_struct("CheckerConfig");
+        d.field("max_states", &self.max_states)
             .field("max_depth", &self.max_depth)
             .field("time_limit", &self.time_limit)
             .field("forbid_deadlock", &self.forbid_deadlock)
@@ -160,8 +177,10 @@ impl fmt::Debug for CheckerConfig {
                 &self.static_precheck.as_ref().map(|_| "<fn>"),
             )
             .field("reduction", &self.reduction)
-            .field("spill_threshold", &self.spill_threshold)
-            .finish()
+            .field("spill_threshold", &self.spill_threshold);
+        #[cfg(feature = "trace")]
+        d.field("metrics", &self.metrics.as_ref().map(|_| "<registry>"));
+        d.finish()
     }
 }
 
@@ -174,6 +193,14 @@ impl PartialEq for CheckerConfig {
             (Some(a), Some(b)) => Arc::ptr_eq(a, b),
             _ => false,
         };
+        #[cfg(feature = "trace")]
+        let metrics_eq = match (&self.metrics, &other.metrics) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        #[cfg(not(feature = "trace"))]
+        let metrics_eq = true;
         self.max_states == other.max_states
             && self.max_depth == other.max_depth
             && self.time_limit == other.time_limit
@@ -182,6 +209,7 @@ impl PartialEq for CheckerConfig {
             && self.reduction == other.reduction
             && self.spill_threshold == other.spill_threshold
             && precheck_eq
+            && metrics_eq
     }
 }
 
@@ -200,6 +228,8 @@ impl Default for CheckerConfig {
             static_precheck: None,
             reduction: Reduction::default(),
             spill_threshold: None,
+            #[cfg(feature = "trace")]
+            metrics: None,
         }
     }
 }

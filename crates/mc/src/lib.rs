@@ -69,6 +69,7 @@ mod config;
 mod hash;
 mod outcome;
 mod property;
+mod telemetry;
 mod walk;
 
 use std::hash::Hash;

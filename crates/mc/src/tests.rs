@@ -744,3 +744,76 @@ fn config_equality_is_precheck_identity() {
     assert_eq!(CheckerConfig::default(), CheckerConfig::default());
     assert_ne!(a, CheckerConfig::default());
 }
+
+#[cfg(feature = "trace")]
+#[test]
+fn telemetry_registry_observes_without_perturbing() {
+    use std::sync::Arc;
+
+    let ts = TwinCounters { cap: 9 };
+    let reduction = Reduction {
+        por: true,
+        symmetry: true,
+        ..Reduction::default()
+    };
+    let silent = Checker::with_config(CheckerConfig::default().reduction(reduction))
+        .run(&ts)
+        .stats();
+
+    let registry = Arc::new(gc_trace::Registry::new());
+    let observed = Checker::with_config(
+        CheckerConfig::default()
+            .reduction(reduction)
+            .metrics(Arc::clone(&registry)),
+    )
+    .run(&ts)
+    .stats();
+    assert_eq!(observed, silent, "telemetry must not perturb the search");
+
+    assert_eq!(
+        registry.value_of("mc_states_total"),
+        Some(observed.states as i64)
+    );
+    assert!(registry.value_of("mc_states_per_sec").unwrap() > 0);
+    let technique = |t: &str| {
+        registry
+            .value_of(&gc_trace::labeled(
+                "mc_reduction_hits_total",
+                &[("technique", t)],
+            ))
+            .unwrap_or(0)
+    };
+    assert!(technique("por_ample") > 0, "ample sets were applied");
+    assert!(technique("symmetry_merge") > 0, "orbits were merged");
+    assert_eq!(technique("sb_canon_coalesce"), 0, "sb_canon was off");
+    // The labelled series render as one family with a single TYPE line.
+    let text = registry.render_text();
+    assert_eq!(text.matches("# TYPE mc_reduction_hits_total").count(), 1);
+    assert!(text.contains("mc_reduction_hits_total{technique=\"por_ample\"}"));
+
+    // Spill telemetry: a spilled run reports bytes in both directions.
+    let mesh = CodecMesh(Mesh {
+        depth: 40,
+        width: 500,
+    });
+    let spill_registry = Arc::new(gc_trace::Registry::new());
+    let spilled = Checker::with_config(CheckerConfig {
+        spill_threshold: Some(8),
+        ..CheckerConfig::default().metrics(Arc::clone(&spill_registry))
+    })
+    .run(&mesh)
+    .stats();
+    assert_eq!(spilled, Checker::new().run(&mesh).stats());
+    assert!(
+        spill_registry
+            .value_of("mc_spill_bytes_written_total")
+            .unwrap()
+            > 0
+    );
+    assert!(
+        spill_registry
+            .value_of("mc_spill_bytes_read_total")
+            .unwrap()
+            > 0
+    );
+}

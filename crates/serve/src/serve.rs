@@ -127,6 +127,10 @@ struct Metrics {
     latency_ns: std::sync::Arc<Histogram>,
     post_storm_latency_ns: std::sync::Arc<Histogram>,
     alloc_stall_ns: std::sync::Arc<Histogram>,
+    /// Published by the keeper each lap so `/healthz` liveness probes
+    /// (which can only see the registry, not the collector) can watch
+    /// cycle-completion recency while the run is in flight.
+    cycles_completed: Gauge,
 }
 
 impl Metrics {
@@ -146,6 +150,7 @@ impl Metrics {
             latency_ns: registry.histogram("serve_latency_ns"),
             post_storm_latency_ns: registry.histogram("serve_post_storm_latency_ns"),
             alloc_stall_ns: registry.histogram("serve_alloc_stall_ns"),
+            cycles_completed: registry.gauge("gc_cycles_completed"),
         }
     }
 }
@@ -710,6 +715,9 @@ fn keeper_entry(ctx: &Ctx<'_>) -> KeeperReport {
             slot.state.store(ADOPTED, Ordering::Release);
             owned.push((sid, gc));
         }
+        ctx.m
+            .cycles_completed
+            .set(ctx.collector.stats().cycles() as i64);
         if ctx.stop_keeper.load(Ordering::Acquire) {
             break;
         }

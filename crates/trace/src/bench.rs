@@ -1,0 +1,169 @@
+//! One schema-checked path for `BENCH_*.json` emission.
+//!
+//! Every bench bin used to hand-roll `fs::write` of a
+//! [`crate::bench_record`] document; this module is the single funnel:
+//! [`validate_bench_record`] rejects malformed records *before* they are
+//! written (so a refactor that drops a field fails the producing run, not
+//! a downstream diff three PRs later), [`write_bench_record_at`] writes a
+//! validated record to an explicit output directory, and
+//! [`write_bench_record`] anchors it at the repository's
+//! `experiments_output/` for checked-in artifacts. `gc-trace check-bench`
+//! runs the same validator over existing files in CI.
+
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+
+/// The schema tag every record must carry.
+pub const BENCH_SCHEMA: &str = "gc-bench/v1";
+
+/// Checks that `record` is a well-formed `gc-bench/v1` document:
+/// an object with a non-empty string `bench`, `schema` equal to
+/// [`BENCH_SCHEMA`], object-valued `params` and `results`, and `metrics`
+/// either `null` or a registry snapshot (`counters`/`gauges`/`histograms`
+/// objects). Returns every violation, empty on success.
+pub fn validate_bench_record(record: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    if !matches!(record, Json::Obj(_)) {
+        return vec!["record is not a JSON object".to_owned()];
+    }
+    match record.get("bench").and_then(Json::as_str) {
+        Some(name) if !name.is_empty() => {}
+        Some(_) => errors.push("\"bench\" is empty".to_owned()),
+        None => errors.push("missing string field \"bench\"".to_owned()),
+    }
+    match record.get("schema").and_then(Json::as_str) {
+        Some(BENCH_SCHEMA) => {}
+        Some(other) => errors.push(format!(
+            "\"schema\" is {other:?}, expected {BENCH_SCHEMA:?}"
+        )),
+        None => errors.push(format!("missing \"schema\": {BENCH_SCHEMA:?}")),
+    }
+    for field in ["params", "results"] {
+        match record.get(field) {
+            Some(Json::Obj(_)) => {}
+            Some(_) => errors.push(format!("\"{field}\" is not an object")),
+            None => errors.push(format!("missing object field \"{field}\"")),
+        }
+    }
+    match record.get("metrics") {
+        Some(Json::Null) | None => {}
+        Some(snap @ Json::Obj(_)) => {
+            for section in ["counters", "gauges", "histograms"] {
+                if !matches!(snap.get(section), Some(Json::Obj(_))) {
+                    errors.push(format!(
+                        "\"metrics\" snapshot is missing object section \"{section}\""
+                    ));
+                }
+            }
+        }
+        Some(_) => errors.push("\"metrics\" is neither null nor a snapshot object".to_owned()),
+    }
+    errors
+}
+
+/// Validates a file's contents as a `gc-bench/v1` record. The error is
+/// one human-readable string (parse failure or joined violations).
+pub fn check_bench_file(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let record = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let errors = validate_bench_record(&record);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{}: {}", path.display(), errors.join("; ")))
+    }
+}
+
+fn invalid(errors: Vec<String>) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("invalid bench record: {}", errors.join("; ")),
+    )
+}
+
+/// Validates `record` and writes it to `<dir>/BENCH_<bench>.json`
+/// (creating `dir`), returning the path. Schema violations surface as
+/// `InvalidData` I/O errors so the producing run fails loudly.
+pub fn write_bench_record_at(dir: &Path, bench: &str, record: &Json) -> std::io::Result<PathBuf> {
+    let errors = validate_bench_record(record);
+    if !errors.is_empty() {
+        return Err(invalid(errors));
+    }
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{bench}.json"));
+    std::fs::write(&path, format!("{record}\n"))?;
+    Ok(path)
+}
+
+/// Validates `record` and writes it to `experiments_output/BENCH_<bench>.json`
+/// at the *repository root* (creating the directory), returning the path.
+/// The root is found by walking up from `CARGO_MANIFEST_DIR` to `.git` —
+/// `cargo bench` and `cargo test` set the working directory to the package
+/// root, so a cwd-relative path would scatter records across `crates/*`.
+pub fn write_bench_record(bench: &str, record: &Json) -> std::io::Result<PathBuf> {
+    let root = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .map(|manifest| {
+            manifest
+                .ancestors()
+                .find(|a| a.join(".git").exists())
+                .map(Path::to_path_buf)
+                .unwrap_or(manifest)
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+    write_bench_record_at(&root.join("experiments_output"), bench, record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{bench_record, Registry};
+
+    #[test]
+    fn well_formed_records_validate() {
+        let r = Registry::new();
+        r.counter("x_total").inc();
+        let record = bench_record(
+            "demo",
+            &[("seed", Json::from(7u64))],
+            &[("throughput", Json::Num(12.5))],
+            Some(&r),
+        );
+        assert!(validate_bench_record(&record).is_empty());
+        let no_metrics = bench_record("demo", &[], &[], None);
+        assert!(validate_bench_record(&no_metrics).is_empty());
+    }
+
+    #[test]
+    fn violations_are_each_reported() {
+        let bad = Json::obj()
+            .set("bench", "")
+            .set("schema", "gc-bench/v0")
+            .set("params", Json::Arr(vec![]))
+            .set("metrics", Json::obj());
+        let errors = validate_bench_record(&bad);
+        assert!(errors.iter().any(|e| e.contains("\"bench\" is empty")));
+        assert!(errors.iter().any(|e| e.contains("gc-bench/v0")));
+        assert!(errors.iter().any(|e| e.contains("\"params\" is not")));
+        assert!(errors.iter().any(|e| e.contains("\"results\"")));
+        assert!(errors.iter().any(|e| e.contains("counters")));
+        assert!(!validate_bench_record(&Json::Arr(vec![])).is_empty());
+    }
+
+    #[test]
+    fn write_at_validates_then_round_trips() {
+        let dir = std::env::temp_dir().join(format!("gc-trace-bench-test-{}", std::process::id()));
+        let record = bench_record("unit", &[], &[("ok", Json::Bool(true))], None);
+        let path = write_bench_record_at(&dir, "unit", &record).unwrap();
+        assert!(path.ends_with("BENCH_unit.json"));
+        check_bench_file(&path).unwrap();
+
+        let err = write_bench_record_at(&dir, "bad", &Json::obj()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        std::fs::write(dir.join("BENCH_corrupt.json"), "{not json").unwrap();
+        assert!(check_bench_file(&dir.join("BENCH_corrupt.json")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

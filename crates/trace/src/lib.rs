@@ -17,6 +17,11 @@
 //!   (cycles as spans with handshake/mark/sweep nested under them, one
 //!   track per thread — loadable in Perfetto) plus a flat JSONL stream,
 //!   built on a small dependency-free JSON value.
+//! * **Live scrape & regression gate** ([`scrape`], [`diff`], [`bench`]):
+//!   a std-only Prometheus endpoint over a live [`Registry`]
+//!   (`/metrics`, `/metrics.json`, `/healthz`), a trace-shape differ
+//!   with configurable thresholds behind `gc-trace diff`, and the
+//!   schema-checked `BENCH_*.json` writer/validator (DESIGN.md §2.14).
 //!
 //! The crate is deliberately leaf-level: `otf-gc`, `mc` and the bench
 //! rigs depend on it (optionally), never the reverse, so the event
@@ -43,18 +48,27 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod bench;
 pub mod chrome;
+pub mod diff;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod ring;
+pub mod scrape;
 pub mod sink;
 pub mod tracer;
 
+pub use bench::{
+    check_bench_file, validate_bench_record, write_bench_record, write_bench_record_at,
+    BENCH_SCHEMA,
+};
+pub use diff::{diff_shapes, DiffError, DiffReport, Finding, Summary, Thresholds, TraceShape};
 pub use event::{Event, EventKind, HANDSHAKE_NAMES, PHASE_NAMES};
 pub use json::{Json, JsonError};
-pub use metrics::{bench_record, Counter, Gauge, Histogram, Registry};
+pub use metrics::{bench_record, escape_label_value, labeled, Counter, Gauge, Histogram, Registry};
 pub use ring::Ring;
+pub use scrape::{Health, Liveness, MetricsServer, METRICS_CONTENT_TYPE};
 pub use sink::{SinkSummary, TraceSink};
 pub use tracer::{
     disable, emit, enable, enabled, set_track_name, Tracer, TrackDump, DEFAULT_RING_CAPACITY,

@@ -186,16 +186,77 @@ enum MetricType {
     Histogram,
 }
 
+/// Escapes a label *value* for the text exposition: backslash, double
+/// quote and newline are the three characters the Prometheus text format
+/// requires escaped inside `label="..."`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text (backslash and newline, per the format).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// The metric *family* of a registered name: the part before the label
+/// set. `hits_total{technique="por"}` and `hits_total{technique="sym"}`
+/// are two series of the one family `hits_total`.
+fn family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// The registry key for a labelled series: the family name plus a
+/// `{k="v",...}` label set with values escaped. With no labels the key is
+/// the bare family name.
+pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return family.to_owned();
+    }
+    let mut out = String::from(family);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 /// A registry of named metrics.
 ///
 /// Names follow Prometheus conventions (`snake_case`, unit-suffixed, e.g.
 /// `gc_handshake_latency_ns`). Registering the same name twice returns the
-/// same underlying metric.
+/// same underlying metric. Labelled series are registered through
+/// [`Registry::counter_with`] (and friends); all series of one family
+/// share a single `# TYPE` line in the exposition.
 #[derive(Debug, Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl Registry {
@@ -235,6 +296,47 @@ impl Registry {
         )
     }
 
+    /// The counter series of `family` with the given label set, creating
+    /// it at zero if needed. Label values are escaped at registration, so
+    /// arbitrary strings are safe.
+    pub fn counter_with(&self, family: &str, labels: &[(&str, &str)]) -> Counter {
+        self.counter(&labeled(family, labels))
+    }
+
+    /// The gauge series of `family` with the given label set.
+    pub fn gauge_with(&self, family: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.gauge(&labeled(family, labels))
+    }
+
+    /// The histogram series of `family` with the given label set.
+    pub fn histogram_with(&self, family: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram(&labeled(family, labels))
+    }
+
+    /// Records help text for a metric family, rendered as a `# HELP` line
+    /// (exactly once per family) in the text exposition.
+    pub fn describe(&self, family: &str, help: &str) {
+        self.help
+            .lock()
+            .expect("registry lock")
+            .insert(family.to_owned(), help.to_owned());
+    }
+
+    /// The current value of the counter or gauge registered under `name`,
+    /// *without* creating it. Counters win name collisions, matching the
+    /// exposition's family-type priority. Used by liveness probes that
+    /// watch a progress metric someone else registers.
+    pub fn value_of(&self, name: &str) -> Option<i64> {
+        if let Some(c) = self.counters.lock().expect("registry lock").get(name) {
+            return Some(c.get() as i64);
+        }
+        self.gauges
+            .lock()
+            .expect("registry lock")
+            .get(name)
+            .map(Gauge::get)
+    }
+
     fn rows(&self) -> Vec<(String, MetricType, Json)> {
         let mut rows = Vec::new();
         for (name, c) in self.counters.lock().expect("registry lock").iter() {
@@ -257,30 +359,74 @@ impl Registry {
         rows
     }
 
-    /// The Prometheus-style text exposition: `# TYPE` lines plus samples;
+    /// The Prometheus text exposition (format version 0.0.4): samples
+    /// grouped by family, each family introduced by its `# HELP` (when
+    /// [`describe`](Registry::describe)d) and `# TYPE` line exactly once;
     /// histograms expose quantile-labelled summary samples and `_count` /
-    /// `_sum` series.
+    /// `_sum` series. A name registered under two metric kinds keeps the
+    /// first kind (counter > gauge > histogram); the conflicting series
+    /// are dropped from the exposition rather than emitting a family with
+    /// two types, which scrapers reject wholesale.
     pub fn render_text(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::new();
+        let help = self.help.lock().expect("registry lock").clone();
+        let mut groups: BTreeMap<String, Vec<(String, MetricType, Json)>> = BTreeMap::new();
         for (name, ty, value) in self.rows() {
-            match ty {
-                MetricType::Counter => {
-                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+            groups
+                .entry(family(&name).to_owned())
+                .or_default()
+                .push((name, ty, value));
+        }
+        let mut out = String::new();
+        for (fam, rows) in groups {
+            let fam_ty = rows[0].1;
+            if let Some(h) = help.get(&fam) {
+                let _ = writeln!(out, "# HELP {fam} {}", escape_help(h));
+            }
+            let kind = match fam_ty {
+                MetricType::Counter => "counter",
+                MetricType::Gauge => "gauge",
+                MetricType::Histogram => "summary",
+            };
+            let _ = writeln!(out, "# TYPE {fam} {kind}");
+            for (name, ty, value) in rows {
+                if ty != fam_ty {
+                    continue;
                 }
-                MetricType::Gauge => {
-                    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
-                }
-                MetricType::Histogram => {
-                    let _ = writeln!(out, "# TYPE {name} summary");
-                    for q in ["p50", "p95", "p99"] {
-                        let quantile = &q[1..];
-                        let v = value.get(q).and_then(Json::as_f64).unwrap_or(0.0);
-                        let _ = writeln!(out, "{name}{{quantile=\"0.{quantile}\"}} {v}");
+                match ty {
+                    MetricType::Counter | MetricType::Gauge => {
+                        let _ = writeln!(out, "{name} {value}");
                     }
-                    let count = value.get("count").and_then(Json::as_f64).unwrap_or(0.0);
-                    let sum = value.get("sum").and_then(Json::as_f64).unwrap_or(0.0);
-                    let _ = writeln!(out, "{name}_count {count}\n{name}_sum {sum}");
+                    MetricType::Histogram => {
+                        // The series may carry labels: splice `quantile`
+                        // into the existing label set.
+                        let labels = name
+                            .split_once('{')
+                            .map(|(_, rest)| rest.trim_end_matches('}'))
+                            .unwrap_or("");
+                        for q in ["p50", "p95", "p99"] {
+                            let quantile = &q[1..];
+                            let v = value.get(q).and_then(Json::as_f64).unwrap_or(0.0);
+                            if labels.is_empty() {
+                                let _ = writeln!(out, "{fam}{{quantile=\"0.{quantile}\"}} {v}");
+                            } else {
+                                let _ = writeln!(
+                                    out,
+                                    "{fam}{{{labels},quantile=\"0.{quantile}\"}} {v}"
+                                );
+                            }
+                        }
+                        let count = value.get("count").and_then(Json::as_f64).unwrap_or(0.0);
+                        let sum = value.get("sum").and_then(Json::as_f64).unwrap_or(0.0);
+                        if labels.is_empty() {
+                            let _ = writeln!(out, "{fam}_count {count}\n{fam}_sum {sum}");
+                        } else {
+                            let _ = writeln!(
+                                out,
+                                "{fam}_count{{{labels}}} {count}\n{fam}_sum{{{labels}}} {sum}"
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -453,6 +599,71 @@ mod tests {
         );
         let hist = snap.get("histograms").and_then(|h| h.get("latency_ns"));
         assert!(hist.and_then(|h| h.get("p99")).is_some());
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("odd_total", &[("path", "a\\b\"c\nd")]).inc();
+        let text = r.render_text();
+        assert!(
+            text.contains("odd_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            "got: {text}"
+        );
+        assert_eq!(escape_label_value("plain"), "plain");
+    }
+
+    #[test]
+    fn type_and_help_once_per_family() {
+        let r = Registry::new();
+        r.describe("hits_total", "per-technique hits");
+        r.counter_with("hits_total", &[("technique", "por")]).inc();
+        r.counter_with("hits_total", &[("technique", "sym")]).add(2);
+        let text = r.render_text();
+        assert_eq!(text.matches("# TYPE hits_total counter").count(), 1);
+        assert_eq!(
+            text.matches("# HELP hits_total per-technique hits").count(),
+            1
+        );
+        assert!(text.contains("hits_total{technique=\"por\"} 1"));
+        assert!(text.contains("hits_total{technique=\"sym\"} 2"));
+        // Family lines are contiguous: HELP, TYPE, then both series.
+        let lines: Vec<&str> = text.lines().collect();
+        let at = lines
+            .iter()
+            .position(|l| l.starts_with("# HELP hits_total"))
+            .unwrap();
+        assert!(lines[at + 1].starts_with("# TYPE hits_total"));
+        assert!(lines[at + 2].starts_with("hits_total{"));
+        assert!(lines[at + 3].starts_with("hits_total{"));
+    }
+
+    #[test]
+    fn conflicting_kinds_keep_first_family_type() {
+        let r = Registry::new();
+        r.counter("mixed").add(4);
+        r.gauge("mixed").set(9);
+        let text = r.render_text();
+        assert_eq!(text.matches("# TYPE mixed").count(), 1);
+        assert!(text.contains("# TYPE mixed counter"));
+        assert!(text.contains("mixed 4"));
+        assert!(!text.contains("mixed 9"));
+        // value_of follows the same priority.
+        assert_eq!(r.value_of("mixed"), Some(4));
+        assert_eq!(r.value_of("absent"), None);
+    }
+
+    #[test]
+    fn labelled_histograms_splice_quantile_labels() {
+        let r = Registry::new();
+        let h = r.histogram_with("stage_ns", &[("stage", "mark")]);
+        for v in 1..=50 {
+            h.record(v);
+        }
+        let text = r.render_text();
+        assert!(text.contains("# TYPE stage_ns summary"));
+        assert!(text.contains("stage_ns{stage=\"mark\",quantile=\"0.99\"}"));
+        assert!(text.contains("stage_ns_count{stage=\"mark\"} 50"));
     }
 
     #[test]

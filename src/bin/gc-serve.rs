@@ -29,21 +29,29 @@
 //! cover only the post-stream tail — use the default mode for the BENCH
 //! record, the streaming mode to watch a run live.
 //!
+//! `--metrics-addr ADDR` (e.g. `127.0.0.1:9464`) serves the robust arm's
+//! registry over HTTP *while the run is in flight* — `/metrics`
+//! (Prometheus text exposition), `/metrics.json` (snapshot) and
+//! `/healthz` (200 while collection cycles keep completing, 503 once
+//! `gc_cycles_completed` goes stale) — so a real Prometheus can scrape a
+//! storm run live.
+//!
 //! Exits nonzero when the robust arm reports any oracle violation or the
 //! generated trace fails validation — the CI `serve-smoke` gate.
 //!
 //! Usage: `gc-serve [--out DIR] [--layout slab|segmented] [--requests N]
 //! [--seed S] [--chaos-seed S] [--slo-ms MS] [--no-storm]
-//! [--skip-ablation] [--stream-trace]`
+//! [--skip-ablation] [--stream-trace] [--metrics-addr ADDR]`
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use gc_serve::{run_serve, ServeConfig, ServeReport};
 use gc_trace::chrome::{chrome_trace, validate_chrome_trace};
-use gc_trace::{EventKind, Json, Registry, TraceSink, Tracer, TrackDump};
+use gc_trace::{EventKind, Json, Liveness, MetricsServer, Registry, TraceSink, Tracer, TrackDump};
 use otf_gc::{FaultPlan, HeapLayout};
 
 struct Args {
@@ -56,6 +64,7 @@ struct Args {
     storm: bool,
     ablation: bool,
     stream_trace: bool,
+    metrics_addr: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -68,6 +77,7 @@ fn parse_args() -> Args {
     let mut storm = true;
     let mut ablation = true;
     let mut stream_trace = false;
+    let mut metrics_addr = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -116,6 +126,10 @@ fn parse_args() -> Args {
                 stream_trace = true;
                 i += 1;
             }
+            "--metrics-addr" => {
+                metrics_addr = Some(need(i).clone());
+                i += 2;
+            }
             other => panic!("unknown argument: {other} (see the module docs for usage)"),
         }
     }
@@ -129,6 +143,7 @@ fn parse_args() -> Args {
         storm,
         ablation,
         stream_trace,
+        metrics_addr,
     }
 }
 
@@ -281,8 +296,31 @@ fn main() -> ExitCode {
         None
     };
 
-    // The robust arm: the registry that becomes metrics.prom.
-    let registry = Registry::new();
+    // The robust arm: the registry that becomes metrics.prom. The live
+    // scrape endpoint (when requested) serves this registry while the run
+    // is in flight, with /healthz tracking cycle-completion recency
+    // through the gc_cycles_completed gauge the keeper publishes.
+    let registry = Arc::new(Registry::new());
+    let server = match &args.metrics_addr {
+        Some(addr) => {
+            let live = Liveness::watch(
+                Arc::clone(&registry),
+                "gc_cycles_completed",
+                Duration::from_secs(5),
+            );
+            match MetricsServer::spawn(addr, Arc::clone(&registry), Some(live)) {
+                Ok(s) => {
+                    println!("metrics: http://{}/metrics", s.local_addr());
+                    Some(s)
+                }
+                Err(e) => {
+                    eprintln!("gc-serve: cannot bind {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
     let report = run_serve(&cfg, &registry);
     print_arm("robust", &report);
     if let Some(p99) = report.post_storm_p99_ns {
@@ -394,10 +432,9 @@ fn main() -> ExitCode {
         Some(&registry),
     );
 
-    let outputs: [(&str, String); 3] = [
+    let outputs: [(&str, String); 2] = [
         ("serve_trace.json", format!("{doc}\n")),
         ("metrics.prom", registry.render_text()),
-        ("BENCH_serve.json", format!("{record}\n")),
     ];
     for (name, contents) in outputs {
         let path = args.out.join(name);
@@ -406,6 +443,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("wrote {}", path.display());
+    }
+    match gc_trace::write_bench_record_at(&args.out, "serve", &record) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("gc-serve: cannot write BENCH_serve.json: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(server) = server {
+        server.shutdown();
     }
 
     if report.is_healthy() {

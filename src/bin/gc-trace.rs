@@ -1,5 +1,5 @@
-//! `gc-trace`: the observability demo and trace validator (DESIGN.md
-//! §2.10).
+//! `gc-trace`: the observability demo, trace validator, trace differ and
+//! bench-record checker (DESIGN.md §2.10, §2.14).
 //!
 //! Default mode runs a short instrumented workload — the on-the-fly
 //! collector under a few churning mutators, then a bounded model-checker
@@ -14,21 +14,42 @@
 //! * `metrics.json` — the same registry as a JSON snapshot;
 //! * `BENCH_trace_demo.json` — a `gc-bench/v1`-schema record of the run.
 //!
+//! With `--metrics-addr ADDR` the demo also serves the live registry over
+//! HTTP while the workload runs (`/metrics`, `/metrics.json`, `/healthz`;
+//! see `gc_trace::scrape`), with `/healthz` watching collection-cycle
+//! recency.
+//!
+//! Subcommands:
+//!
+//! * `gc-trace diff BASE CURRENT [--json FILE] [--shape-only]
+//!   [--latency-rel F] [--count-rel F] [--mix-abs F] [--min-count N]` —
+//!   extracts the shape of two recorded traces (`trace.jsonl` or
+//!   `trace.json`) and compares them (see `gc_trace::diff`). Prints the
+//!   human table, optionally writes the machine-readable verdict, and
+//!   exits 0 (clean) / 1 (regressed) / 2 (unreadable input).
+//! * `gc-trace check-bench FILE...` — validates `BENCH_*.json` files
+//!   against the `gc-bench/v1` schema; exits nonzero on any violation.
+//!
 //! `--check <file>` parses and validates an existing Chrome trace document
 //! (required fields, begin/end balance per track) and exits nonzero on
 //! failure — the CI `trace-smoke` job runs the demo and then this mode on
 //! its own output.
 //!
-//! Usage: `gc-trace [--out DIR] [--mutators K] [--ops N] [--check FILE]`
+//! Usage: `gc-trace [--out DIR] [--mutators K] [--ops N] [--check FILE]
+//! [--metrics-addr ADDR]`
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use gc_model::invariants::combined_property;
 use gc_model::{GcModel, ModelConfig};
 use gc_trace::chrome::{chrome_trace, jsonl, validate_chrome_trace};
-use gc_trace::{EventKind, Json, Registry, Tracer, TrackDump};
+use gc_trace::{
+    diff_shapes, EventKind, Json, Liveness, MetricsServer, Registry, Thresholds, TraceShape,
+    Tracer, TrackDump,
+};
 use mc::{Checker, CheckerConfig, Strategy};
 use otf_gc::{Collector, GcConfig, HeapLayout};
 
@@ -37,14 +58,15 @@ struct Args {
     mutators: usize,
     ops: usize,
     check: Option<PathBuf>,
+    metrics_addr: Option<String>,
 }
 
-fn parse_args() -> Args {
+fn parse_args(args: &[String]) -> Args {
     let mut out = PathBuf::from("experiments_output");
     let mut mutators = 3usize;
     let mut ops = 12_000usize;
     let mut check = None;
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics_addr = None;
     let mut i = 0;
     while i < args.len() {
         let need = |i: usize| {
@@ -68,6 +90,10 @@ fn parse_args() -> Args {
                 check = Some(PathBuf::from(need(i)));
                 i += 2;
             }
+            "--metrics-addr" => {
+                metrics_addr = Some(need(i).clone());
+                i += 2;
+            }
             other => panic!("unknown argument: {other} (see the module docs for usage)"),
         }
     }
@@ -76,6 +102,7 @@ fn parse_args() -> Args {
         mutators,
         ops,
         check,
+        metrics_addr,
     }
 }
 
@@ -114,10 +141,113 @@ fn check_file(path: &Path) -> ExitCode {
     }
 }
 
+/// `diff` subcommand: compare two recorded traces, exit 0/1/2.
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut thr = Thresholds::default();
+    let mut json_out: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--latency-rel" => {
+                thr.latency_rel = need(i).parse().expect("latency-rel must be a float");
+                i += 2;
+            }
+            "--count-rel" => {
+                thr.count_rel = need(i).parse().expect("count-rel must be a float");
+                i += 2;
+            }
+            "--mix-abs" => {
+                thr.mix_abs = need(i).parse().expect("mix-abs must be a float");
+                i += 2;
+            }
+            "--min-count" => {
+                thr.min_count = need(i).parse().expect("min-count must be a u64");
+                i += 2;
+            }
+            "--shape-only" => {
+                thr.check_latency = false;
+                i += 1;
+            }
+            "--json" => {
+                json_out = Some(PathBuf::from(need(i)));
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                panic!("unknown diff argument: {other}")
+            }
+            _ => {
+                files.push(PathBuf::from(&args[i]));
+                i += 1;
+            }
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("usage: gc-trace diff BASE CURRENT [--json FILE] [--shape-only] ...");
+        return ExitCode::from(2);
+    }
+    let load = |path: &Path| -> Result<TraceShape, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        TraceShape::from_text(&text).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let (base, current) = match (load(&files[0]), load(&files[1])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("gc-trace diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = diff_shapes(&base, &current, &thr);
+    print!("{}", report.render_table());
+    if let Some(path) = json_out {
+        let doc = report.to_json(&base, &current, &thr);
+        if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
+            eprintln!("gc-trace diff: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `check-bench` subcommand: schema-validate `BENCH_*.json` files.
+fn run_check_bench(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("usage: gc-trace check-bench FILE...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for arg in args {
+        let path = Path::new(arg);
+        match gc_trace::check_bench_file(path) {
+            Ok(()) => println!("{}: valid gc-bench/v1 record", path.display()),
+            Err(e) => {
+                eprintln!("gc-trace check-bench: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// The instrumented runtime workload: `mutators` threads churn a shared
 /// list (the stress/torture access pattern) while the collector runs
-/// on-the-fly, every thread writing to its own trace track.
-fn run_gc_workload(mutators: usize, ops: usize) -> (u64, usize) {
+/// on-the-fly, every thread writing to its own trace track. A sampler
+/// thread publishes `gc_cycles_completed` into `registry` while the
+/// workload runs, so a live `/healthz` probe sees cycle progress.
+fn run_gc_workload(mutators: usize, ops: usize, registry: &Registry) -> (u64, usize) {
     // The segmented layout so the trace shows the full event vocabulary:
     // TLAB refills, segment claims and lazy sweeps alongside the cycles.
     let cfg = GcConfig::builder()
@@ -133,6 +263,7 @@ fn run_gc_workload(mutators: usize, ops: usize) -> (u64, usize) {
     let mut m0 = collector.register_mutator();
     let anchor = m0.alloc(2).expect("fresh heap has room");
     let done = std::sync::atomic::AtomicUsize::new(0);
+    let cycles_gauge = registry.gauge("gc_cycles_completed");
     std::thread::scope(|s| {
         for i in 0..mutators {
             let mut m = collector.register_mutator();
@@ -162,6 +293,14 @@ fn run_gc_workload(mutators: usize, ops: usize) -> (u64, usize) {
             });
         }
         let done = &done;
+        let collector_ref = &collector;
+        let gauge = cycles_gauge.clone();
+        s.spawn(move || {
+            while done.load(std::sync::atomic::Ordering::Acquire) < mutators {
+                gauge.set(collector_ref.stats().cycles() as i64);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        });
         s.spawn(move || {
             gc_trace::set_track_name("driver");
             while done.load(std::sync::atomic::Ordering::Acquire) < mutators {
@@ -173,20 +312,25 @@ fn run_gc_workload(mutators: usize, ops: usize) -> (u64, usize) {
     });
     collector.stop();
     let cycles = collector.stats().cycles();
+    cycles_gauge.set(cycles as i64);
     let live = collector.live_objects();
     (cycles, live)
 }
 
 /// The instrumented checker workload: a bounded BFS over the fig3
-/// configuration, small enough to finish in well under a second.
-fn run_checker_workload() -> (String, usize, usize) {
+/// configuration, small enough to finish in well under a second. The
+/// shared registry also receives the live `mc_*` telemetry gauges.
+fn run_checker_workload(registry: &Arc<Registry>) -> (String, usize, usize) {
     let cfg = ModelConfig::small(1, 2);
     let model = GcModel::new(cfg.clone());
-    let checker = Checker::with_config(CheckerConfig {
-        max_states: 30_000,
-        hash_compact: true,
-        ..CheckerConfig::default()
-    })
+    let checker = Checker::with_config(
+        CheckerConfig {
+            max_states: 30_000,
+            hash_compact: true,
+            ..CheckerConfig::default()
+        }
+        .metrics(Arc::clone(registry)),
+    )
     .strategy(Strategy::Bfs { threads: 2 })
     .property(combined_property(&cfg));
     let outcome = checker.run(&model);
@@ -246,7 +390,13 @@ fn populate_metrics(registry: &Registry, dumps: &[TrackDump]) {
 }
 
 fn main() -> ExitCode {
-    let args = parse_args();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match raw.first().map(String::as_str) {
+        Some("diff") => return run_diff(&raw[1..]),
+        Some("check-bench") => return run_check_bench(&raw[1..]),
+        _ => {}
+    }
+    let args = parse_args(&raw);
     if let Some(path) = &args.check {
         return check_file(path);
     }
@@ -255,19 +405,42 @@ fn main() -> ExitCode {
         "== gc-trace demo: {} mutators x {} ops + bounded model check ==",
         args.mutators, args.ops
     );
+    let registry = Arc::new(Registry::new());
+    let server = match &args.metrics_addr {
+        Some(addr) => {
+            let liveness = Liveness::watch(
+                Arc::clone(&registry),
+                "gc_cycles_completed",
+                std::time::Duration::from_secs(5),
+            );
+            match MetricsServer::spawn(addr, Arc::clone(&registry), Some(liveness)) {
+                Ok(s) => {
+                    println!(
+                        "serving /metrics /metrics.json /healthz on http://{}",
+                        s.local_addr()
+                    );
+                    Some(s)
+                }
+                Err(e) => {
+                    eprintln!("gc-trace: cannot bind {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
     gc_trace::enable();
     gc_trace::set_track_name("main");
 
-    let (cycles, live) = run_gc_workload(args.mutators, args.ops);
+    let (cycles, live) = run_gc_workload(args.mutators, args.ops, &registry);
     println!("runtime workload: {cycles} collection cycles, {live} live objects at exit");
 
-    let (verdict, states, depth) = run_checker_workload();
+    let (verdict, states, depth) = run_checker_workload(&registry);
     println!("checker workload: {verdict} ({states} states, depth {depth})");
 
     gc_trace::disable();
     let dumps = Tracer::global().drain();
 
-    let registry = Registry::new();
     populate_metrics(&registry, &dumps);
     registry.gauge("gc_live_objects").set(live as i64);
     registry.counter("gc_cycles").add(cycles);
@@ -306,12 +479,11 @@ fn main() -> ExitCode {
         eprintln!("gc-trace: cannot create {}: {e}", args.out.display());
         return ExitCode::from(2);
     }
-    let outputs: [(&str, String); 5] = [
+    let outputs: [(&str, String); 4] = [
         ("trace.json", format!("{doc}\n")),
         ("trace.jsonl", jsonl(&dumps)),
         ("metrics.prom", registry.render_text()),
         ("metrics.json", format!("{}\n", registry.snapshot())),
-        ("BENCH_trace_demo.json", format!("{record}\n")),
     ];
     for (name, contents) in outputs {
         let path = args.out.join(name);
@@ -320,6 +492,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("wrote {}", path.display());
+    }
+    // Schema-checked emission: a malformed record fails the run here,
+    // not a downstream consumer.
+    match gc_trace::write_bench_record_at(&args.out, "trace_demo", &record) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("gc-trace: cannot write bench record: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(server) = server {
+        println!("metrics endpoint served {} request(s)", server.shutdown());
     }
     println!("load trace.json in Perfetto (ui.perfetto.dev) or chrome://tracing");
     ExitCode::SUCCESS

@@ -1,0 +1,210 @@
+//! End-to-end tests for the live scrape endpoint (DESIGN.md §2.14): a
+//! real serve workload publishes into a shared registry while a
+//! [`MetricsServer`] serves it over TCP, and a plain HTTP client (what a
+//! Prometheus scraper amounts to) reads well-formed text exposition and a
+//! `200` `/healthz` while collection cycles keep completing.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use relaxing_safely::gc::HeapLayout;
+use relaxing_safely::serve::{run_serve, ServeConfig};
+use relaxing_safely::trace::{Liveness, MetricsServer, Registry, METRICS_CONTENT_TYPE};
+
+/// Raw one-shot GET; returns (status line, headers, body).
+fn get(addr: SocketAddr, path: &str) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect scrape server");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("header terminator");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_owned(), headers.to_owned(), body.to_owned())
+}
+
+/// Asserts `body` is well-formed Prometheus text exposition: every line
+/// is a comment or a `name[{labels}] value` sample with a parseable
+/// value, and no family has more than one `# TYPE` / `# HELP` line.
+fn assert_well_formed_exposition(body: &str) {
+    let mut type_lines = std::collections::HashMap::new();
+    let mut help_lines = std::collections::HashMap::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let fam = rest.split_whitespace().next().expect("TYPE family");
+            *type_lines.entry(fam.to_owned()).or_insert(0u32) += 1;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let fam = rest.split_whitespace().next().expect("HELP family");
+            *help_lines.entry(fam.to_owned()).or_insert(0u32) += 1;
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment form: {line}");
+        // `name value` or `name{labels} value`; label values may contain
+        // escaped spaces but never raw newlines, so splitting the final
+        // space off is sound.
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line has no value: {line:?}");
+        });
+        let name = series.split('{').next().unwrap_or(series);
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in line: {line:?}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value in line: {line:?}"
+        );
+    }
+    for (fam, n) in type_lines {
+        assert_eq!(n, 1, "family {fam} has {n} TYPE lines");
+    }
+    for (fam, n) in help_lines {
+        assert_eq!(n, 1, "family {fam} has {n} HELP lines");
+    }
+}
+
+/// The acceptance test: scrape a live serve run. The keeper thread
+/// publishes `gc_cycles_completed` every lap, so `/healthz` (watching
+/// that gauge) answers `200` while the run is in flight, and `/metrics`
+/// exposes the serve families as they fill in.
+#[test]
+fn live_scrape_during_a_serve_run() {
+    let registry = Arc::new(Registry::new());
+    let liveness = Liveness::watch(
+        Arc::clone(&registry),
+        "gc_cycles_completed",
+        // Generous: a loaded debug runner may take a while between cycle
+        // completions, and the startup grace covers the warm-up.
+        Duration::from_secs(30),
+    );
+    let server = MetricsServer::spawn("127.0.0.1:0", Arc::clone(&registry), Some(liveness))
+        .expect("bind scrape server");
+    let addr = server.local_addr();
+
+    let cfg = ServeConfig::quick(HeapLayout::Slab);
+    let run_registry = Arc::clone(&registry);
+    let worker = std::thread::spawn(move || run_serve(&cfg, &run_registry));
+
+    // Poll the endpoint while the run is in flight until the keeper has
+    // published at least one completed cycle; every poll must already be
+    // well-formed exposition with the right media type.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut saw_live_cycles = false;
+    while Instant::now() < deadline && !saw_live_cycles {
+        let (status, headers, body) = get(addr, "/metrics");
+        assert!(status.contains("200"), "status: {status}");
+        assert!(
+            headers.contains(&format!("Content-Type: {METRICS_CONTENT_TYPE}")),
+            "headers: {headers}"
+        );
+        assert_well_formed_exposition(&body);
+        if body
+            .lines()
+            .any(|l| l.starts_with("gc_cycles_completed ") && !l.ends_with(" 0"))
+        {
+            let (status, _, hbody) = get(addr, "/healthz");
+            assert!(
+                status.contains("200"),
+                "healthz while cycles complete: {status}, body: {hbody}"
+            );
+            assert!(hbody.contains("\"watched\":\"gc_cycles_completed\""));
+            saw_live_cycles = true;
+        } else {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    assert!(
+        saw_live_cycles,
+        "never observed a completed cycle through the scrape endpoint"
+    );
+
+    let report = worker.join().expect("serve run");
+    assert!(report.is_healthy(), "violations: {:?}", report.violations);
+
+    // Post-run: the full serve families are present exactly once each.
+    let (status, _, body) = get(addr, "/metrics");
+    assert!(status.contains("200"));
+    assert_well_formed_exposition(&body);
+    for family in ["serve_shed_total", "serve_requests_total"] {
+        assert!(
+            body.lines().any(|l| l.starts_with(family)),
+            "family {family} missing from exposition:\n{body}"
+        );
+    }
+    // The JSON snapshot serves the same registry.
+    let (status, headers, body) = get(addr, "/metrics.json");
+    assert!(status.contains("200"));
+    assert!(headers.contains("application/json"), "headers: {headers}");
+    let snap = relaxing_safely::trace::Json::parse(&body).expect("snapshot parses");
+    assert!(snap.get("gauges").is_some(), "snapshot: {snap}");
+    assert!(server.shutdown() >= 2);
+}
+
+/// Exposition conformance under hostile label values: backslashes,
+/// quotes and newlines must come out escaped, on one line, with a single
+/// TYPE line for the labelled family.
+#[test]
+fn exposition_escapes_label_values() {
+    let registry = Arc::new(Registry::new());
+    registry
+        .counter_with(
+            "chaos_sites_total",
+            &[("site", "mark\\sweep \"fast\"\npath")],
+        )
+        .add(7);
+    registry
+        .counter_with("chaos_sites_total", &[("site", "plain")])
+        .inc();
+    let server =
+        MetricsServer::spawn("127.0.0.1:0", Arc::clone(&registry), None).expect("bind server");
+    let (status, _, body) = get(server.local_addr(), "/metrics");
+    assert!(status.contains("200"));
+    assert_well_formed_exposition(&body);
+    assert!(
+        body.contains(r#"chaos_sites_total{site="mark\\sweep \"fast\"\npath"} 7"#),
+        "escaped series missing:\n{body}"
+    );
+    assert_eq!(
+        body.lines()
+            .filter(|l| l.starts_with("# TYPE chaos_sites_total"))
+            .count(),
+        1
+    );
+    server.shutdown();
+}
+
+/// `/healthz` flips to `503` once the watched metric stops moving — a
+/// stalled collector stops looking alive even though the scrape thread
+/// itself is healthy.
+#[test]
+fn healthz_goes_stale_when_progress_stops() {
+    let registry = Arc::new(Registry::new());
+    let progress = registry.gauge("gc_cycles_completed");
+    progress.set(1);
+    let liveness = Liveness::watch(
+        Arc::clone(&registry),
+        "gc_cycles_completed",
+        Duration::from_millis(100),
+    );
+    let server = MetricsServer::spawn("127.0.0.1:0", Arc::clone(&registry), Some(liveness))
+        .expect("bind server");
+    let addr = server.local_addr();
+    let (status, _, _) = get(addr, "/healthz");
+    assert!(status.contains("200"), "startup grace: {status}");
+    std::thread::sleep(Duration::from_millis(250));
+    let (status, _, body) = get(addr, "/healthz");
+    assert!(status.contains("503"), "status: {status}, body: {body}");
+    progress.set(2);
+    let (status, _, _) = get(addr, "/healthz");
+    assert!(status.contains("200"), "recovery: {status}");
+    server.shutdown();
+}
